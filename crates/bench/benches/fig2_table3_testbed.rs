@@ -1,0 +1,24 @@
+//! Bench: regenerating Fig. 2 / Table III (the k=4 testbed experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f2tree_experiments::testbed::{format_table3, run_table3, run_testbed, TestbedConfig};
+use f2tree_experiments::Design;
+
+fn bench(c: &mut Criterion) {
+    let cfg = TestbedConfig::default();
+    // Print the regenerated artifact once.
+    println!("{}", format_table3(&run_table3(&cfg)));
+
+    let mut group = c.benchmark_group("fig2_table3");
+    group.sample_size(10);
+    group.bench_function("testbed_fat_tree", |b| {
+        b.iter(|| run_testbed(Design::FatTree, &cfg))
+    });
+    group.bench_function("testbed_f2tree", |b| {
+        b.iter(|| run_testbed(Design::F2Tree, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

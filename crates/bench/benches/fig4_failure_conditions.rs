@@ -1,0 +1,51 @@
+//! Bench: regenerating Fig. 4 (the C1-C7 condition sweep at k=8).
+//!
+//! The one-time artifact print sweeps all cells in parallel with
+//! crossbeam; the benchmark itself times representative cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_failure::Condition;
+use f2tree_experiments::conditions::{format_fig4, run_condition, ConditionConfig};
+use f2tree_experiments::Design;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ConditionConfig::default();
+    // Regenerate the full figure once, cells in parallel.
+    let mut cells: Vec<(Design, Condition)> = Vec::new();
+    for condition in Condition::ALL {
+        if !condition.requires_across_links() {
+            cells.push((Design::FatTree, condition));
+        }
+        cells.push((Design::F2Tree, condition));
+    }
+    let mut results: Vec<_> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|&(design, condition)| {
+                let cfg = &cfg;
+                scope.spawn(move |_| run_condition(design, condition, cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    results.sort_by(|a, b| a.condition.cmp(&b.condition));
+    println!("{}", format_fig4(&results));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for (design, condition) in [
+        (Design::FatTree, Condition::C1),
+        (Design::F2Tree, Condition::C1),
+        (Design::F2Tree, Condition::C5),
+        (Design::F2Tree, Condition::C7),
+    ] {
+        group.bench_function(format!("{design}_{condition}"), |b| {
+            b.iter(|| run_condition(design, condition, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

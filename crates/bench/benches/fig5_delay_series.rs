@@ -1,0 +1,41 @@
+//! Bench: regenerating Fig. 5 (end-to-end delay during recovery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_failure::Condition;
+use f2tree_experiments::conditions::{run_condition, ConditionConfig};
+use f2tree_experiments::Design;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ConditionConfig::default();
+    // Print the regenerated series once (the Fig. 5 lines).
+    for (design, condition) in [
+        (Design::FatTree, Condition::C1),
+        (Design::F2Tree, Condition::C1),
+        (Design::F2Tree, Condition::C4),
+        (Design::F2Tree, Condition::C5),
+        (Design::F2Tree, Condition::C7),
+    ] {
+        let r = run_condition(design, condition, &cfg);
+        let line: Vec<String> = r
+            .delay_series
+            .iter()
+            .take_while(|&&(t, _)| t <= 400)
+            .map(|&(t, d)| match d {
+                Some(d) => format!("{t}:{d:.0}us"),
+                None => format!("{t}:gap"),
+            })
+            .collect();
+        println!("Fig5 {design} {condition}: {}", line.join(" "));
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("delay_series_f2tree_c1", |b| {
+        b.iter(|| run_condition(Design::F2Tree, Condition::C1, &cfg).delay_series)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

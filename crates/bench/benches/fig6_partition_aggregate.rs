@@ -1,0 +1,30 @@
+//! Bench: regenerating Fig. 6 (partition-aggregate under random
+//! failures). The artifact print uses the paper-scale 600s configuration;
+//! the timed benchmark uses the 60s quick configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f2tree_experiments::workload::{format_fig6, run_fig6, run_workload, WorkloadConfig};
+use f2tree_experiments::Design;
+
+fn bench(c: &mut Criterion) {
+    // Print the paper-scale artifact once (≈30s of wall time total).
+    println!("{}", format_fig6(&run_fig6(&WorkloadConfig::default())));
+
+    let quick = WorkloadConfig::quick();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("workload_quick_fat_tree_cf1", |b| {
+        b.iter(|| run_workload(Design::FatTree, &quick))
+    });
+    group.bench_function("workload_quick_f2tree_cf1", |b| {
+        b.iter(|| run_workload(Design::F2Tree, &quick))
+    });
+    let quick5 = WorkloadConfig::quick().with_concurrency(5);
+    group.bench_function("workload_quick_f2tree_cf5", |b| {
+        b.iter(|| run_workload(Design::F2Tree, &quick5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerating Fig. 7 (the scheme on Leaf-Spine and VL2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f2tree_experiments::fig7::{format_fig7, run_fig7, run_fig7_cell, Fabric, Fig7Config};
+use f2tree_experiments::Design;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Fig7Config::default();
+    println!("{}", format_fig7(&run_fig7(&cfg)));
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("leaf_spine_f2", |b| {
+        b.iter(|| run_fig7_cell(Fabric::LeafSpine, Design::F2Tree, &cfg))
+    });
+    group.bench_function("vl2_f2", |b| {
+        b.iter(|| run_fig7_cell(Fabric::Vl2, Design::F2Tree, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the substrates on the simulation hot path:
+//! FIB lookups, SPF computation, the event queue, and ECMP hashing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dcn_emu::{EmuConfig, Network};
+use dcn_net::{FatTree, FlowKey, Ipv4Addr, Protocol};
+use dcn_routing::{compute_routes, ecmp_hash};
+use dcn_sim::{EventQueue, SimDuration, SimTime};
+use f2tree::F2TreeNetwork;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    // FIB lookup through a converged k=8 switch.
+    let topo = FatTree::new(8).unwrap().build();
+    let net = Network::new(topo, EmuConfig::default()).unwrap();
+    let agg = net
+        .topology()
+        .layer_switches(dcn_net::Layer::Agg)
+        .next()
+        .unwrap();
+    let router = net.router(agg).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let keys: Vec<FlowKey> = (0..1024)
+        .map(|_| {
+            FlowKey::new(
+                Ipv4Addr::new(10, 11, rng.gen::<u8>() % 32, 2),
+                Ipv4Addr::new(10, 11, rng.gen::<u8>() % 32, 2),
+                rng.gen(),
+                5001,
+                Protocol::Tcp,
+            )
+        })
+        .collect();
+    c.bench_function("fib_lookup_k8", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            router.forward(std::hint::black_box(&keys[i]))
+        })
+    });
+
+    // Full SPF over the k=8 F2Tree LSDB.
+    let f2 = F2TreeNetwork::build(8).unwrap();
+    let net2 = Network::new(f2.topology, EmuConfig::default()).unwrap();
+    let sw = net2
+        .topology()
+        .layer_switches(dcn_net::Layer::Agg)
+        .next()
+        .unwrap();
+    let r2 = net2.router(sw).unwrap();
+    c.bench_function("spf_compute_k8_f2tree", |b| {
+        b.iter(|| compute_routes(std::hint::black_box(r2.lsdb()), sw))
+    });
+
+    // Event queue schedule+pop throughput.
+    c.bench_function("event_queue_schedule_pop_4k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..4096u64 {
+                    q.schedule(
+                        SimTime::ZERO + SimDuration::from_nanos((i * 2_654_435_761) % 1_000_000),
+                        i,
+                    );
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // ECMP five-tuple hash.
+    c.bench_function("ecmp_hash", |b| {
+        let key = keys[0];
+        b.iter(|| ecmp_hash(std::hint::black_box(&key), 42))
+    });
+
+    // A full healthy emulation step: 10ms of probe traffic on k=8.
+    c.bench_function("emulate_10ms_probe_k8", |b| {
+        b.iter_batched(
+            || {
+                let topo = FatTree::new(8).unwrap().build();
+                let mut net = Network::new(topo, EmuConfig::default()).unwrap();
+                let hosts = net.topology().hosts().to_vec();
+                net.add_udp_probe(hosts[0], *hosts.last().unwrap(), SimTime::ZERO);
+                net
+            },
+            |mut net| {
+                net.run_until(SimTime::ZERO + SimDuration::from_millis(10));
+                net
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

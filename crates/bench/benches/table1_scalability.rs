@@ -1,0 +1,39 @@
+//! Bench: regenerating Table I (closed forms + construction-verified
+//! rows) and the underlying topology builders.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dcn_net::FatTree;
+use f2tree::F2TreeNetwork;
+use f2tree_experiments::table1::{format_table1, run_table1};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artifact once.
+    println!("{}", format_table1(48, &run_table1(48)));
+
+    let mut group = c.benchmark_group("table1");
+    for n in [8u32, 48, 128] {
+        group.bench_function(format!("closed_forms_n{n}"), |b| {
+            b.iter(|| run_table1(std::hint::black_box(n)))
+        });
+    }
+    for k in [8u32, 16] {
+        group.bench_function(format!("build_fat_tree_k{k}"), |b| {
+            b.iter_batched(
+                || (),
+                |_| FatTree::new(k).unwrap().build(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("build_f2tree_k{k}"), |b| {
+            b.iter_batched(
+                || (),
+                |_| F2TreeNetwork::build(k).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

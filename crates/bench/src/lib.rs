@@ -1,0 +1,5 @@
+//! # f2tree-bench — benchmark-only crate
+//!
+//! This crate holds the Criterion benchmark harness (one bench target per
+//! paper table/figure plus substrate micro-benchmarks). It exposes no
+//! library API of its own; see the `benches/` directory.

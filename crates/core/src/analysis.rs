@@ -1,0 +1,123 @@
+//! Immediate-backup-link analysis (paper §II-A).
+//!
+//! An *immediate backup link* for link `L` at switch `S` is a link `S` can
+//! keep forwarding `L`'s traffic through using only local information.
+//! The paper's counts for `N`-port switches:
+//!
+//! | topology | upward link | downward link |
+//! |---|---|---|
+//! | fat tree | `N/2 − 1` (ECMP) | 0 |
+//! | F²Tree   | `N/2` (`N/2 − 2` ECMP + 2 across) | 2 (across) |
+
+use dcn_net::{LinkId, NodeId, Topology};
+
+/// Counts the immediate backup links available at `node` for `link`.
+///
+/// Upward links are backed by the switch's other upward links (ECMP over
+/// equal-cost cores) plus any across links; downward links are backed by
+/// parallel links to the same lower switch plus any across links.
+///
+/// # Panics
+///
+/// Panics if `node` is not an endpoint of `link`.
+pub fn immediate_backup_links(topo: &Topology, node: NodeId, link: LinkId) -> usize {
+    let across = topo.across_links(node).len();
+    if topo.is_upward(link, node) {
+        let other_upward = topo
+            .upward_links(node)
+            .iter()
+            .filter(|&&l| l != link)
+            .count();
+        other_upward + across
+    } else if topo.is_downward(link, node) {
+        let below = topo.link(link).other_end(node);
+        let parallel = topo
+            .links_between(node, below)
+            .iter()
+            .filter(|&&l| l != link)
+            .count();
+        parallel + across
+    } else {
+        // An across link is backed by the other across link plus every
+        // vertical path (conservatively: the other across link only).
+        across.saturating_sub(1)
+    }
+}
+
+/// Summary of backup-link counts across a whole layer.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BackupSummary {
+    /// Minimum backups over the layer's upward links.
+    pub upward_min: usize,
+    /// Minimum backups over the layer's downward links.
+    pub downward_min: usize,
+}
+
+/// Computes the minimum immediate-backup counts over every upward and
+/// downward link of the switches at `layer`.
+pub fn layer_backup_summary(topo: &Topology, layer: dcn_net::Layer) -> BackupSummary {
+    let mut up = usize::MAX;
+    let mut down = usize::MAX;
+    for sw in topo.layer_switches(layer) {
+        for l in topo.upward_links(sw) {
+            up = up.min(immediate_backup_links(topo, sw, l));
+        }
+        for l in topo.downward_links(sw) {
+            down = down.min(immediate_backup_links(topo, sw, l));
+        }
+    }
+    BackupSummary {
+        upward_min: if up == usize::MAX { 0 } else { up },
+        downward_min: if down == usize::MAX { 0 } else { down },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewire::F2TreeNetwork;
+    use dcn_net::{FatTree, Layer};
+
+    #[test]
+    fn fat_tree_matches_the_papers_counts() {
+        // N=8 fat tree: upward links have N/2-1 = 3 backups; downward 0.
+        let topo = FatTree::new(8).unwrap().build();
+        for layer in [Layer::Tor, Layer::Agg] {
+            let s = layer_backup_summary(&topo, layer);
+            assert_eq!(s.upward_min, 3, "{layer} upward");
+            assert_eq!(s.downward_min, 0, "{layer} downward");
+        }
+    }
+
+    #[test]
+    fn f2tree_matches_the_papers_counts() {
+        // N=8 F2Tree agg switches: upward N/2 = 4 (2 ECMP + 2 across),
+        // downward 2 (the across links).
+        let net = F2TreeNetwork::build(8).unwrap();
+        let s = layer_backup_summary(&net.topology, Layer::Agg);
+        assert_eq!(s.upward_min, 4);
+        assert_eq!(s.downward_min, 2);
+        // Core switches have no upward links but the same downward gain.
+        let s = layer_backup_summary(&net.topology, Layer::Core);
+        assert_eq!(s.downward_min, 2);
+    }
+
+    #[test]
+    fn tor_switches_keep_their_ecmp_upward_backups() {
+        let net = F2TreeNetwork::build(8).unwrap();
+        let s = layer_backup_summary(&net.topology, Layer::Tor);
+        // k/2 - 1 = 3 ECMP alternatives, no across links at ToR.
+        assert_eq!(s.upward_min, 3);
+        assert_eq!(s.downward_min, 0, "host access links stay unprotected");
+    }
+
+    #[test]
+    fn across_links_back_each_other() {
+        let net = F2TreeNetwork::build(8).unwrap();
+        let topo = &net.topology;
+        let agg = topo.layer_switches(Layer::Agg).next().unwrap();
+        for l in topo.across_links(agg) {
+            assert_eq!(immediate_backup_links(topo, agg, l), 1);
+        }
+    }
+}

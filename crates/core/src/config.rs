@@ -1,0 +1,196 @@
+//! Backup static-route configuration (paper §II-B, Table II).
+//!
+//! Each ring member gets exactly two static routes, deliberately with
+//! *different* prefix lengths:
+//!
+//! * the **DCN prefix** (`10.11.0.0/16`) via the **rightward** across
+//!   link, and
+//! * the shorter **covering prefix** (`10.10.0.0/15`) via the
+//!   **leftward** across link.
+//!
+//! Both are shorter than any OSPF-learned /24 rack subnet, so they sit
+//! inert in the FIB until every longer match is locally dead — and the
+//! length asymmetry makes rerouted packets flow *rightward* around the
+//! ring, avoiding the two-adjacent-failure loop of Fig. 3(b). The routes
+//! are local-only (never redistributed), which in this model simply means
+//! they are installed with [`RouteOrigin::Static`] and never appear in
+//! LSAs.
+
+use dcn_net::{NodeId, PodRing, Prefix, COVERING_PREFIX, DCN_PREFIX};
+use dcn_routing::{NextHop, Route, RouteOrigin};
+
+use crate::rewire::F2TreeNetwork;
+
+/// The two prefixes the backup routes use.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BackupPrefixes {
+    /// The prefix containing every host (rightward backup).
+    pub dcn: Prefix,
+    /// The shorter prefix just covering it (leftward backup).
+    pub covering: Prefix,
+}
+
+impl Default for BackupPrefixes {
+    fn default() -> Self {
+        BackupPrefixes {
+            dcn: DCN_PREFIX,
+            covering: COVERING_PREFIX,
+        }
+    }
+}
+
+impl BackupPrefixes {
+    /// Validates the paper's loop-avoidance invariant: the rightward
+    /// prefix must be strictly longer than the leftward one, and the
+    /// leftward prefix must cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated — a misconfiguration that would
+    /// reintroduce the Fig. 3(b) forwarding loop.
+    pub fn validate(&self) {
+        assert!(
+            self.dcn.len() > self.covering.len(),
+            "rightward backup prefix must be longer than the leftward one"
+        );
+        assert!(
+            self.covering.covers(self.dcn),
+            "leftward prefix must cover the DCN prefix"
+        );
+    }
+}
+
+/// The backup routes for one switch: `[rightward, leftward]`.
+pub type SwitchBackup = (NodeId, [Route; 2]);
+
+/// Generates the two backup routes for every member of `ring`.
+pub fn ring_backup_routes(ring: &PodRing, prefixes: BackupPrefixes) -> Vec<SwitchBackup> {
+    prefixes.validate();
+    let mut out = Vec::with_capacity(ring.len());
+    for &member in &ring.members {
+        let right = NextHop {
+            node: ring.right_neighbor(member).expect("member is in ring"),
+            link: ring.right_link(member).expect("member is in ring"),
+        };
+        let left = NextHop {
+            node: ring.left_neighbor(member).expect("member is in ring"),
+            link: ring.left_link(member).expect("member is in ring"),
+        };
+        out.push((
+            member,
+            [
+                Route::new(prefixes.dcn, RouteOrigin::Static, 0, vec![right]),
+                Route::new(prefixes.covering, RouteOrigin::Static, 0, vec![left]),
+            ],
+        ));
+    }
+    out
+}
+
+/// Generates the full backup configuration for an F²Tree network: two
+/// static routes per aggregation and core switch (Table II's last two
+/// rows, replicated everywhere).
+pub fn network_backup_routes(network: &F2TreeNetwork) -> Vec<SwitchBackup> {
+    let prefixes = BackupPrefixes::default();
+    network
+        .agg_rings
+        .iter()
+        .chain(network.core_rings.iter())
+        .flat_map(|ring| ring_backup_routes(ring, prefixes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_net::{Layer, LinkId};
+
+    #[test]
+    fn every_agg_and_core_switch_gets_exactly_two_backups() {
+        let net = F2TreeNetwork::build(8).unwrap();
+        let backups = network_backup_routes(&net);
+        let expected =
+            net.topology.layer_switches(Layer::Agg).count()
+                + net.topology.layer_switches(Layer::Core).count();
+        assert_eq!(backups.len(), expected);
+        for (_, [right, left]) in &backups {
+            assert_eq!(right.origin, RouteOrigin::Static);
+            assert_eq!(left.origin, RouteOrigin::Static);
+            assert_eq!(right.next_hops.len(), 1);
+            assert_eq!(left.next_hops.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rightward_route_has_the_longer_prefix() {
+        // Table II: the /16 goes right, the /15 goes left.
+        let net = F2TreeNetwork::build(8).unwrap();
+        for (_, [right, left]) in network_backup_routes(&net) {
+            assert_eq!(right.prefix.to_string(), "10.11.0.0/16");
+            assert_eq!(left.prefix.to_string(), "10.10.0.0/15");
+            assert!(right.prefix.len() > left.prefix.len());
+        }
+    }
+
+    #[test]
+    fn next_hops_follow_the_ring_direction() {
+        let net = F2TreeNetwork::build(8).unwrap();
+        let ring = &net.agg_rings[0];
+        let backups = ring_backup_routes(ring, BackupPrefixes::default());
+        for (member, [right, left]) in backups {
+            assert_eq!(
+                right.next_hops[0].node,
+                ring.right_neighbor(member).unwrap()
+            );
+            assert_eq!(left.next_hops[0].node, ring.left_neighbor(member).unwrap());
+            assert_eq!(right.next_hops[0].link, ring.right_link(member).unwrap());
+            assert_eq!(left.next_hops[0].link, ring.left_link(member).unwrap());
+        }
+    }
+
+    #[test]
+    fn two_member_ring_uses_distinct_parallel_links() {
+        // The k=4 testbed: rings of two switches joined by two parallel
+        // links; right and left must use different links or the C6
+        // fallback breaks.
+        let net = F2TreeNetwork::build_with_hosts(4, 1).unwrap();
+        for ring in net.agg_rings.iter().chain(net.core_rings.iter()) {
+            let backups = ring_backup_routes(ring, BackupPrefixes::default());
+            for (_, [right, left]) in backups {
+                assert_ne!(right.next_hops[0].link, left.next_hops[0].link);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be longer")]
+    fn inverted_prefix_lengths_are_rejected() {
+        let bad = BackupPrefixes {
+            dcn: "10.10.0.0/15".parse().unwrap(),
+            covering: "10.11.0.0/16".parse().unwrap(),
+        };
+        bad.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn non_covering_prefix_is_rejected() {
+        let bad = BackupPrefixes {
+            dcn: "10.11.0.0/16".parse().unwrap(),
+            covering: "10.8.0.0/15".parse().unwrap(),
+        };
+        bad.validate();
+    }
+
+    #[test]
+    fn backup_links_are_across_links() {
+        let net = F2TreeNetwork::build(6).unwrap();
+        let across: std::collections::HashSet<LinkId> =
+            net.across_links().into_iter().collect();
+        for (_, routes) in network_backup_routes(&net) {
+            for route in routes {
+                assert!(across.contains(&route.next_hops[0].link));
+            }
+        }
+    }
+}

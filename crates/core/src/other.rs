@@ -1,0 +1,138 @@
+//! F²Tree for other multi-rooted topologies (paper §V, Fig. 7).
+//!
+//! The same recipe — reserve two ports, form a ring, install two backup
+//! routes — applies wherever downward links lack immediate backups:
+//!
+//! * **Leaf-Spine** (Fig. 7(a)): spines have only downward links, so a
+//!   single spine ring gives every spine two immediate backups toward any
+//!   leaf (every spine reaches every leaf directly).
+//! * **VL2** (Fig. 7(b)): the dense agg↔intermediate mesh already backs
+//!   core→agg links, but agg→ToR links do not — an aggregation-layer ring
+//!   fixes exactly that gap.
+
+use dcn_net::{Layer, LeafSpine, LinkClass, NodeId, PodRing, Topology, TopologyError, Vl2};
+
+/// A rewired two-layer or VL2 network: the topology plus its ring.
+#[derive(Clone, Debug)]
+pub struct F2Network {
+    /// The rewired topology.
+    pub topology: Topology,
+    /// The across-link ring added by the rewiring.
+    pub ring: PodRing,
+}
+
+/// Builds an F²-Leaf-Spine: a standard Leaf-Spine fabric plus a spine
+/// ring.
+///
+/// # Errors
+///
+/// Returns an error for invalid dimensions or if fewer than two spines
+/// are requested (a ring needs two members).
+pub fn f2_leaf_spine(leaves: u32, spines: u32) -> Result<F2Network, TopologyError> {
+    if spines < 2 {
+        return Err(TopologyError::InvalidParameter(
+            "a spine ring needs at least 2 spines".into(),
+        ));
+    }
+    let mut topo = LeafSpine::new(leaves, spines)?
+        .spare_spine_ports(2)
+        .build();
+    let members: Vec<NodeId> = topo.layer_switches(Layer::Core).collect();
+    let ring = add_ring(&mut topo, members)?;
+    topo.set_name(format!("f2-leaf-spine-{leaves}x{spines}"));
+    Ok(F2Network {
+        topology: topo,
+        ring,
+    })
+}
+
+/// Builds an F²-VL2: a standard VL2 fabric plus an aggregation ring.
+///
+/// # Errors
+///
+/// Returns an error for invalid dimensions.
+pub fn f2_vl2(d_a: u32, d_i: u32) -> Result<F2Network, TopologyError> {
+    let mut topo = Vl2::new(d_a, d_i)?.spare_agg_ports(2).build();
+    let members: Vec<NodeId> = topo.layer_switches(Layer::Agg).collect();
+    let ring = add_ring(&mut topo, members)?;
+    topo.set_name(format!("f2-vl2-da{d_a}-di{d_i}"));
+    Ok(F2Network {
+        topology: topo,
+        ring,
+    })
+}
+
+fn add_ring(topo: &mut Topology, members: Vec<NodeId>) -> Result<PodRing, TopologyError> {
+    let n = members.len();
+    if n < 2 {
+        return Err(TopologyError::InvalidParameter(format!(
+            "a ring needs at least 2 members, got {n}"
+        )));
+    }
+    let mut right_links = Vec::with_capacity(n);
+    for i in 0..n {
+        right_links.push(topo.add_link(members[i], members[(i + 1) % n], LinkClass::Across)?);
+    }
+    Ok(PodRing {
+        members,
+        right_links,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::layer_backup_summary;
+
+    #[test]
+    fn leaf_spine_ring_spans_all_spines() {
+        let net = f2_leaf_spine(4, 4).unwrap();
+        assert_eq!(net.ring.len(), 4);
+        for spine in net.topology.layer_switches(Layer::Core) {
+            assert_eq!(net.topology.across_links(spine).len(), 2);
+        }
+        assert!(net.topology.is_connected());
+    }
+
+    #[test]
+    fn leaf_spine_downward_links_gain_two_backups() {
+        // Fig. 7(a): original Leaf-Spine has 0 downward backups; the ring
+        // adds 2.
+        let plain = LeafSpine::new(4, 4).unwrap().build();
+        let before = layer_backup_summary(&plain, Layer::Core);
+        assert_eq!(before.downward_min, 0);
+        let net = f2_leaf_spine(4, 4).unwrap();
+        let after = layer_backup_summary(&net.topology, Layer::Core);
+        assert_eq!(after.downward_min, 2);
+    }
+
+    #[test]
+    fn vl2_agg_ring_protects_tor_links() {
+        // Fig. 7(b): agg->ToR links go from 0 to 2 immediate backups.
+        let plain = Vl2::new(6, 6).unwrap().build();
+        let before = layer_backup_summary(&plain, Layer::Agg);
+        assert_eq!(before.downward_min, 0);
+        let net = f2_vl2(6, 6).unwrap();
+        let after = layer_backup_summary(&net.topology, Layer::Agg);
+        assert_eq!(after.downward_min, 2);
+    }
+
+    #[test]
+    fn vl2_core_downward_links_were_already_backed() {
+        // VL2's dense mesh: intermediate->agg links already have ECMP-style
+        // backups via the other aggs... seen from the intermediate, each
+        // downward link to an agg is parallel-path-backed only through the
+        // mesh, which our conservative structural count does not credit —
+        // but the *agg* layer is what the paper rewires, so assert the
+        // rewiring leaves the intermediate layer untouched.
+        let net = f2_vl2(6, 6).unwrap();
+        for int in net.topology.layer_switches(Layer::Core) {
+            assert!(net.topology.across_links(int).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_spine_is_rejected() {
+        assert!(f2_leaf_spine(4, 1).is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! The F²Tree rewiring transform (paper §II-B).
+//!
+//! Starting from a standard `k`-port fat tree, the recipe reserves one
+//! upward and one downward port on every aggregation and core switch and
+//! uses the two freed ports for *across links*, forming a ring within each
+//! pod. Concretely, the transform:
+//!
+//! 1. retires the last two pods (core switches keep `k-2` downward ports),
+//! 2. retires the last ToR of every remaining pod (each aggregation switch
+//!    keeps `(k-2)/2` downward ports),
+//! 3. retires the last core of every core group (each aggregation switch
+//!    keeps `(k-2)/2` upward ports), and
+//! 4. adds across-link rings over each pod's aggregation switches and each
+//!    group's core switches.
+//!
+//! The result matches Table I exactly: `5N²/4 − 7N/2 + 2` switches
+//! supporting `N³/4 − N² + N` hosts. At `k = 4` the core groups degenerate
+//! to single switches, so — as in the paper's Fig. 1(b) testbed — the ring
+//! is formed across all remaining core switches instead (two switches
+//! joined by two parallel links).
+
+use dcn_net::{FatTree, Layer, LinkClass, LinkId, NodeId, PodRing, Topology, TopologyError};
+
+/// A rewired F²Tree network: the topology plus its across-link rings.
+#[derive(Clone, Debug)]
+pub struct F2TreeNetwork {
+    /// The rewired topology.
+    pub topology: Topology,
+    /// One across-link ring per pod, over its aggregation switches.
+    pub agg_rings: Vec<PodRing>,
+    /// One across-link ring per core group (a single all-core ring when
+    /// groups degenerate to singletons, as at `k = 4`).
+    pub core_rings: Vec<PodRing>,
+}
+
+impl F2TreeNetwork {
+    /// Builds an F²Tree directly from the port count `k` with the default
+    /// host fill (one host per downward ToR port).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `k` is even and at least 4.
+    pub fn build(k: u32) -> Result<Self, TopologyError> {
+        let fat = FatTree::new(k)?.build();
+        rewire_fat_tree(fat)
+    }
+
+    /// Builds an F²Tree with a custom number of hosts per ToR (the paper's
+    /// testbed attaches a single host to each rack).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `k` is even and at least 4.
+    pub fn build_with_hosts(k: u32, hosts_per_tor: u32) -> Result<Self, TopologyError> {
+        let fat = FatTree::new(k)?.hosts_per_tor(hosts_per_tor).build();
+        rewire_fat_tree(fat)
+    }
+
+    /// The ring containing `node`, if any.
+    pub fn ring_of(&self, node: NodeId) -> Option<&PodRing> {
+        self.agg_rings
+            .iter()
+            .chain(self.core_rings.iter())
+            .find(|r| r.position(node).is_some())
+    }
+
+    /// All across links, for failure-candidate lists.
+    pub fn across_links(&self) -> Vec<LinkId> {
+        self.agg_rings
+            .iter()
+            .chain(self.core_rings.iter())
+            .flat_map(|r| r.right_links.iter().copied())
+            .collect()
+    }
+}
+
+/// Rewires a standard fat tree into an F²Tree.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidParameter`] if `topo` does not have the
+/// shape produced by [`FatTree`] (every pod the same width, square core).
+pub fn rewire_fat_tree(mut topo: Topology) -> Result<F2TreeNetwork, TopologyError> {
+    let k = topo.ports_per_switch().ok_or_else(|| {
+        TopologyError::InvalidParameter("fat tree must carry a port budget".into())
+    })?;
+    let pods = topo.pods(Layer::Agg).len();
+    let half = (k / 2) as usize;
+    if pods != k as usize
+        || topo.pods(Layer::Tor).iter().any(|p| p.len() != half)
+        || topo.pods(Layer::Agg).iter().any(|p| p.len() != half)
+        || topo.pods(Layer::Core).len() != half
+        || topo.pods(Layer::Core).iter().any(|g| g.len() != half)
+    {
+        return Err(TopologyError::InvalidParameter(
+            "topology is not a standard k-ary fat tree".into(),
+        ));
+    }
+
+    // 1. Retire the last two pods entirely (switches and their hosts).
+    for pod in (pods - 2)..pods {
+        let mut doomed: Vec<NodeId> = Vec::new();
+        for &tor in &topo.pods(Layer::Tor)[pod] {
+            doomed.extend(
+                topo.neighbors(tor)
+                    .filter(|&(_, n)| !topo.node(n).kind().is_switch())
+                    .map(|(_, n)| n),
+            );
+            doomed.push(tor);
+        }
+        doomed.extend(topo.pods(Layer::Agg)[pod].iter().copied());
+        for node in doomed {
+            topo.remove_node(node)?;
+        }
+    }
+
+    // 2. Retire the last ToR (and its hosts) of every remaining pod.
+    for pod in 0..(pods - 2) {
+        let tor = *topo.pods(Layer::Tor)[pod]
+            .last()
+            .expect("pod has ToRs by the shape check");
+        let hosts: Vec<NodeId> = topo
+            .neighbors(tor)
+            .filter(|&(_, n)| !topo.node(n).kind().is_switch())
+            .map(|(_, n)| n)
+            .collect();
+        for host in hosts {
+            topo.remove_node(host)?;
+        }
+        topo.remove_node(tor)?;
+    }
+
+    // 3. Retire the last core of every group.
+    for group in 0..half {
+        let core = *topo.pods(Layer::Core)[group]
+            .last()
+            .expect("group has cores by the shape check");
+        topo.remove_node(core)?;
+    }
+
+    // 4. Across-link rings.
+    let mut agg_rings = Vec::with_capacity(pods - 2);
+    for pod in 0..(pods - 2) {
+        let members = topo.pods(Layer::Agg)[pod].clone();
+        agg_rings.push(add_ring(&mut topo, members)?);
+    }
+    let core_groups: Vec<Vec<NodeId>> = topo
+        .pods(Layer::Core)
+        .iter()
+        .filter(|g| !g.is_empty())
+        .cloned()
+        .collect();
+    let mut core_rings = Vec::new();
+    if core_groups.iter().all(|g| g.len() == 1) {
+        // k = 4 degenerate case (paper Fig. 1(b)): one ring across all
+        // remaining core switches.
+        let members: Vec<NodeId> = core_groups.into_iter().flatten().collect();
+        core_rings.push(add_ring(&mut topo, members)?);
+    } else {
+        for members in core_groups {
+            core_rings.push(add_ring(&mut topo, members)?);
+        }
+    }
+
+    topo.set_name(format!("f2tree-k{k}"));
+    Ok(F2TreeNetwork {
+        topology: topo,
+        agg_rings,
+        core_rings,
+    })
+}
+
+/// Adds the across links turning `members` into a ring.
+///
+/// For a two-member ring this creates two parallel links; member `i`'s
+/// rightward link is `right_links[i]`.
+fn add_ring(topo: &mut Topology, members: Vec<NodeId>) -> Result<PodRing, TopologyError> {
+    let n = members.len();
+    if n < 2 {
+        return Err(TopologyError::InvalidParameter(format!(
+            "a ring needs at least 2 members, got {n}"
+        )));
+    }
+    let mut right_links = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = members[i];
+        let b = members[(i + 1) % n];
+        right_links.push(topo.add_link(a, b, LinkClass::Across)?);
+    }
+    Ok(PodRing {
+        members,
+        right_links,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_net::scalability::F2TreeDimensions;
+
+    #[test]
+    fn k8_counts_match_table1() {
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        let dims = F2TreeDimensions::for_ports(8);
+        assert_eq!(f2.topology.switch_count() as u64, dims.switches());
+        assert_eq!(f2.topology.host_count() as u64, dims.nodes());
+        assert_eq!(f2.topology.name(), "f2tree-k8");
+    }
+
+    #[test]
+    fn counts_match_table1_across_sizes() {
+        for k in [4u32, 6, 8, 10, 12] {
+            let f2 = F2TreeNetwork::build(k).unwrap();
+            let dims = F2TreeDimensions::for_ports(k);
+            assert_eq!(
+                f2.topology.switch_count() as u64,
+                dims.switches(),
+                "switches at k={k}"
+            );
+            assert_eq!(
+                f2.topology.host_count() as u64,
+                dims.nodes(),
+                "hosts at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_switch_port_budget_holds() {
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        let topo = &f2.topology;
+        for node in topo.nodes().filter(|n| n.kind().is_switch()) {
+            assert!(
+                topo.degree(node.id()) <= 8,
+                "{} uses {} ports",
+                node.name(),
+                topo.degree(node.id())
+            );
+        }
+    }
+
+    #[test]
+    fn agg_and_core_switches_have_exactly_two_across_links() {
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        let topo = &f2.topology;
+        for layer in [Layer::Agg, Layer::Core] {
+            for sw in topo.layer_switches(layer) {
+                assert_eq!(
+                    topo.across_links(sw).len(),
+                    2,
+                    "{} should have 2 across links",
+                    topo.node(sw).name()
+                );
+            }
+        }
+        for tor in topo.layer_switches(Layer::Tor) {
+            assert!(topo.across_links(tor).is_empty());
+        }
+    }
+
+    #[test]
+    fn rings_cover_each_pod_and_group() {
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        // k=8: 6 pods of 4 aggs; 4 core groups of 3.
+        assert_eq!(f2.agg_rings.len(), 6);
+        assert!(f2.agg_rings.iter().all(|r| r.len() == 4));
+        assert_eq!(f2.core_rings.len(), 4);
+        assert!(f2.core_rings.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn k4_testbed_shape_matches_fig_1b() {
+        // Fig. 1(b): 2 pods, 1 ToR + 2 aggs each, 2 cores, rings of two
+        // parallel links.
+        let f2 = F2TreeNetwork::build_with_hosts(4, 1).unwrap();
+        let topo = &f2.topology;
+        assert_eq!(topo.layer_switches(Layer::Tor).count(), 2);
+        assert_eq!(topo.layer_switches(Layer::Agg).count(), 4);
+        assert_eq!(topo.layer_switches(Layer::Core).count(), 2);
+        assert_eq!(topo.host_count(), 2);
+        assert_eq!(f2.agg_rings.len(), 2);
+        assert_eq!(f2.core_rings.len(), 1);
+        let core_ring = &f2.core_rings[0];
+        assert_eq!(core_ring.len(), 2);
+        // Two parallel links between the two cores.
+        let links = topo.links_between(core_ring.members[0], core_ring.members[1]);
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn topology_stays_connected() {
+        for k in [4u32, 6, 8] {
+            let f2 = F2TreeNetwork::build(k).unwrap();
+            assert!(f2.topology.is_connected(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn downward_link_gains_two_immediate_backups() {
+        // The headline structural claim of §II-B: downward links go from 0
+        // immediate backup links (fat tree) to 2 (the across links).
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        let topo = &f2.topology;
+        for agg in topo.layer_switches(Layer::Agg) {
+            assert_eq!(topo.across_links(agg).len(), 2);
+            // And the vertical structure survives: (k-2)/2 = 3 down, 3 up.
+            assert_eq!(topo.downward_links(agg).len(), 3);
+            assert_eq!(topo.upward_links(agg).len(), 3);
+        }
+    }
+
+    #[test]
+    fn ring_of_finds_the_owning_ring() {
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        let agg = f2.agg_rings[0].members[0];
+        assert_eq!(f2.ring_of(agg).unwrap().members, f2.agg_rings[0].members);
+        let tor = f2.topology.layer_switches(Layer::Tor).next().unwrap();
+        assert!(f2.ring_of(tor).is_none());
+    }
+
+    #[test]
+    fn across_links_enumerates_every_ring_link() {
+        let f2 = F2TreeNetwork::build(8).unwrap();
+        // 6 pods * 4 + 4 groups * 3 = 36 across links.
+        assert_eq!(f2.across_links().len(), 36);
+    }
+
+    #[test]
+    fn rejects_non_fat_tree_input() {
+        let ls = dcn_net::LeafSpine::new(4, 4).unwrap().build();
+        assert!(rewire_fat_tree(ls).is_err());
+    }
+}

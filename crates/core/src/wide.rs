@@ -1,0 +1,330 @@
+//! Wider across rings: the paper's §II-C extension.
+//!
+//! > "if we reserve more ports (e.g. 4) for across links and configure
+//! > them as immediate backup links, following the philosophy of F²Tree,
+//! > it is able to deal with this extreme condition as well."
+//!
+//! With `2d` across ports, each ring member links to its neighbors at
+//! distances `1..=d` in both directions, and carries `2d` static backup
+//! routes with graduated prefix lengths (rightward chords first, then
+//! leftward, each one bit shorter). Under the C7 condition — where the
+//! plain F²Tree's rightward/leftward pair dead-ends and packets ping-pong
+//! — the distance-2 chord skips straight past the broken neighbor, so
+//! recovery stays detection-bounded.
+
+use dcn_net::{FatTree, Layer, LinkClass, LinkId, NodeId, Prefix, Topology, TopologyError, DCN_PREFIX};
+use dcn_routing::{NextHop, Route, RouteOrigin};
+
+/// A ring with chords out to `reach` in both directions.
+///
+/// `chords[d-1][i]` is the link from `members[i]` to
+/// `members[(i + d) % n]` — member `i`'s rightward distance-`d` chord and
+/// the target's leftward one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WideRing {
+    /// Ring members in order.
+    pub members: Vec<NodeId>,
+    /// `chords[d-1][i]`: the distance-`d` rightward chord of member `i`.
+    pub chords: Vec<Vec<LinkId>>,
+}
+
+impl WideRing {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Chord reach (`chords.len()`).
+    pub fn reach(&self) -> usize {
+        self.chords.len()
+    }
+
+    /// Position of `node` in the ring.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.members.iter().position(|&m| m == node)
+    }
+
+    /// The rightward distance-`d` neighbor and chord of `node`.
+    pub fn right(&self, node: NodeId, d: usize) -> Option<(NodeId, LinkId)> {
+        let i = self.position(node)?;
+        let n = self.members.len();
+        let link = *self.chords.get(d - 1)?.get(i)?;
+        Some((self.members[(i + d) % n], link))
+    }
+
+    /// The leftward distance-`d` neighbor and chord of `node`.
+    pub fn left(&self, node: NodeId, d: usize) -> Option<(NodeId, LinkId)> {
+        let i = self.position(node)?;
+        let n = self.members.len();
+        let j = (i + n - d % n) % n;
+        let link = *self.chords.get(d - 1)?.get(j)?;
+        Some((self.members[j], link))
+    }
+}
+
+/// A fat tree rewired with `2 * reach` across ports per aggregation and
+/// core switch.
+#[derive(Clone, Debug)]
+pub struct WideF2TreeNetwork {
+    /// The rewired topology.
+    pub topology: Topology,
+    /// Per-pod aggregation rings with chords.
+    pub agg_rings: Vec<WideRing>,
+    /// Per-group core rings with chords.
+    pub core_rings: Vec<WideRing>,
+    /// Chord reach (across ports = `2 * reach`).
+    pub reach: u32,
+}
+
+/// Builds a wide F²Tree: `k`-port switches with `across_ports` reserved
+/// per aggregation/core switch (`across_ports = 2` is the plain F²Tree).
+///
+/// Sizing generalizes Table I: `N − r` pods with `(N − r)/2` ToRs each,
+/// `N/2` aggs per pod, `N/2` core groups of `(N − r)/2`, where
+/// `r = across_ports`.
+///
+/// # Errors
+///
+/// Returns an error unless `k` and `across_ports` are even,
+/// `across_ports >= 2`, and the resulting rings have enough members for
+/// distinct chords (`N/2 > across_ports / 2` and `(N − r)/2 >= 2`).
+pub fn build_wide_f2tree(k: u32, across_ports: u32) -> Result<WideF2TreeNetwork, TopologyError> {
+    if across_ports < 2 || !across_ports.is_multiple_of(2) {
+        return Err(TopologyError::InvalidParameter(format!(
+            "across_ports must be even and >= 2, got {across_ports}"
+        )));
+    }
+    let reach = across_ports / 2;
+    if k <= across_ports + 2 {
+        return Err(TopologyError::InvalidParameter(format!(
+            "k={k} too small to reserve {across_ports} across ports"
+        )));
+    }
+    // Every ring (aggs per pod = k/2; cores per group = (k - r)/2) needs
+    // strictly more members than the chord reach, or distance-`reach`
+    // chords degenerate into self-links.
+    if k / 2 <= reach || (k - across_ports) / 2 <= reach {
+        return Err(TopologyError::InvalidParameter(format!(
+            "rings too small for reach {reach} at k={k}"
+        )));
+    }
+    let mut topo = FatTree::new(k)?.build();
+    let pods = k as usize;
+    let half = (k / 2) as usize;
+    let r = across_ports as usize;
+
+    // Retire the last `r` pods.
+    for pod in (pods - r)..pods {
+        let mut doomed: Vec<NodeId> = Vec::new();
+        for &tor in &topo.pods(Layer::Tor)[pod] {
+            doomed.extend(
+                topo.neighbors(tor)
+                    .filter(|&(_, n)| !topo.node(n).kind().is_switch())
+                    .map(|(_, n)| n),
+            );
+            doomed.push(tor);
+        }
+        doomed.extend(topo.pods(Layer::Agg)[pod].iter().copied());
+        for node in doomed {
+            topo.remove_node(node)?;
+        }
+    }
+    // Retire the last `r/2` ToRs of every remaining pod.
+    for pod in 0..(pods - r) {
+        for _ in 0..(r / 2) {
+            let tor = *topo.pods(Layer::Tor)[pod].last().expect("pod has ToRs");
+            let hosts: Vec<NodeId> = topo
+                .neighbors(tor)
+                .filter(|&(_, n)| !topo.node(n).kind().is_switch())
+                .map(|(_, n)| n)
+                .collect();
+            for host in hosts {
+                topo.remove_node(host)?;
+            }
+            topo.remove_node(tor)?;
+        }
+    }
+    // Retire the last `r/2` cores of every group.
+    for group in 0..half {
+        for _ in 0..(r / 2) {
+            let core = *topo.pods(Layer::Core)[group].last().expect("group has cores");
+            topo.remove_node(core)?;
+        }
+    }
+
+    // Chorded rings.
+    let mut agg_rings = Vec::with_capacity(pods - r);
+    for pod in 0..(pods - r) {
+        let members = topo.pods(Layer::Agg)[pod].clone();
+        agg_rings.push(add_wide_ring(&mut topo, members, reach as usize)?);
+    }
+    let mut core_rings = Vec::new();
+    for group in 0..half {
+        let members = topo.pods(Layer::Core)[group].clone();
+        core_rings.push(add_wide_ring(&mut topo, members, reach as usize)?);
+    }
+
+    topo.set_name(format!("f2tree-k{k}-a{across_ports}"));
+    Ok(WideF2TreeNetwork {
+        topology: topo,
+        agg_rings,
+        core_rings,
+        reach,
+    })
+}
+
+fn add_wide_ring(
+    topo: &mut Topology,
+    members: Vec<NodeId>,
+    reach: usize,
+) -> Result<WideRing, TopologyError> {
+    let n = members.len();
+    if n < 2 {
+        return Err(TopologyError::InvalidParameter(format!(
+            "a ring needs at least 2 members, got {n}"
+        )));
+    }
+    let mut chords = Vec::with_capacity(reach);
+    for d in 1..=reach {
+        let mut level = Vec::with_capacity(n);
+        for i in 0..n {
+            level.push(topo.add_link(members[i], members[(i + d) % n], LinkClass::Across)?);
+        }
+        chords.push(level);
+    }
+    Ok(WideRing { members, chords })
+}
+
+/// Generates the `2 * reach` backup routes per ring member: rightward
+/// chords get the longest prefixes (distance 1 first), then leftward,
+/// each route one bit shorter than the previous so fall-through tries
+/// them in order.
+pub fn wide_backup_routes(net: &WideF2TreeNetwork) -> Vec<(NodeId, Vec<Route>)> {
+    let reach = net.reach as usize;
+    let mut out = Vec::new();
+    for ring in net.agg_rings.iter().chain(net.core_rings.iter()) {
+        for &member in &ring.members {
+            let mut routes = Vec::with_capacity(2 * reach);
+            let mut len = DCN_PREFIX.len();
+            for d in 1..=reach {
+                let (node, link) = ring.right(member, d).expect("member in ring");
+                routes.push(Route::new(
+                    Prefix::truncating(DCN_PREFIX.addr(), len),
+                    RouteOrigin::Static,
+                    0,
+                    vec![NextHop { node, link }],
+                ));
+                len -= 1;
+            }
+            for d in 1..=reach {
+                let (node, link) = ring.left(member, d).expect("member in ring");
+                routes.push(Route::new(
+                    Prefix::truncating(DCN_PREFIX.addr(), len),
+                    RouteOrigin::Static,
+                    0,
+                    vec![NextHop { node, link }],
+                ));
+                len -= 1;
+            }
+            out.push((member, routes));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_k12_sizing_generalizes_table1() {
+        // r=4 at k=12: 8 pods, 4 ToRs/pod, 6 aggs/pod, 6 groups of 4
+        // cores, 192 hosts.
+        let net = build_wide_f2tree(12, 4).unwrap();
+        let topo = &net.topology;
+        assert_eq!(
+            topo.pods(Layer::Agg).iter().filter(|p| !p.is_empty()).count(),
+            8
+        );
+        assert_eq!(topo.layer_switches(Layer::Tor).count(), 32);
+        assert_eq!(topo.layer_switches(Layer::Agg).count(), 48);
+        assert_eq!(topo.layer_switches(Layer::Core).count(), 24);
+        assert_eq!(topo.host_count(), 192);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn every_switch_respects_the_port_budget() {
+        let net = build_wide_f2tree(12, 4).unwrap();
+        let topo = &net.topology;
+        for node in topo.nodes().filter(|n| n.kind().is_switch()) {
+            assert!(
+                topo.degree(node.id()) <= 12,
+                "{} uses {} ports",
+                node.name(),
+                topo.degree(node.id())
+            );
+        }
+        // Agg and core switches carry exactly 4 across links.
+        for layer in [Layer::Agg, Layer::Core] {
+            for sw in topo.layer_switches(layer) {
+                assert_eq!(topo.across_links(sw).len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn reach_two_gives_four_backup_routes_with_graduated_prefixes() {
+        let net = build_wide_f2tree(12, 4).unwrap();
+        for (_, routes) in wide_backup_routes(&net) {
+            assert_eq!(routes.len(), 4);
+            let lens: Vec<u8> = routes.iter().map(|r| r.prefix.len()).collect();
+            assert_eq!(lens, vec![16, 15, 14, 13]);
+            // Each covers the one before (fall-through chain).
+            for pair in routes.windows(2) {
+                assert!(pair[1].prefix.covers(pair[0].prefix));
+                assert!(pair[1].prefix.covers(DCN_PREFIX));
+            }
+        }
+    }
+
+    #[test]
+    fn chords_skip_distance_two() {
+        let net = build_wide_f2tree(12, 4).unwrap();
+        let ring = &net.agg_rings[0];
+        assert_eq!(ring.reach(), 2);
+        let m0 = ring.members[0];
+        let (r1, _) = ring.right(m0, 1).unwrap();
+        let (r2, _) = ring.right(m0, 2).unwrap();
+        assert_eq!(r1, ring.members[1]);
+        assert_eq!(r2, ring.members[2]);
+        let (l1, _) = ring.left(m0, 1).unwrap();
+        assert_eq!(l1, *ring.members.last().unwrap());
+    }
+
+    #[test]
+    fn reach_one_matches_plain_f2tree_shape() {
+        let wide = build_wide_f2tree(8, 2).unwrap();
+        let plain = crate::rewire::F2TreeNetwork::build(8).unwrap();
+        assert_eq!(
+            wide.topology.switch_count(),
+            plain.topology.switch_count()
+        );
+        assert_eq!(wide.topology.host_count(), plain.topology.host_count());
+    }
+
+    #[test]
+    fn rejects_infeasible_parameters() {
+        assert!(build_wide_f2tree(8, 3).is_err());
+        assert!(build_wide_f2tree(8, 0).is_err());
+        assert!(build_wide_f2tree(4, 4).is_err());
+        assert!(build_wide_f2tree(6, 4).is_err());
+        // k=8 with r=4 makes 2-member core rings: too small for reach 2.
+        assert!(build_wide_f2tree(8, 4).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+use dcn_emu::{EmuConfig, Network};
+use dcn_metrics::ThroughputSeries;
+use dcn_sim::{SimDuration, SimTime};
+use f2tree::{network_backup_routes, F2TreeNetwork};
+
+fn ms(v: u64) -> SimTime { SimTime::ZERO + SimDuration::from_millis(v) }
+
+fn main() {
+    let f2 = F2TreeNetwork::build_with_hosts(4, 1).unwrap();
+    let backups = network_backup_routes(&f2);
+    let mut net = Network::new(f2.topology, EmuConfig::default()).unwrap();
+    net.install_static_routes(backups.into_iter().flat_map(|(n, rs)| rs.into_iter().map(move |r| (n, r))));
+    let hosts = net.topology().hosts().to_vec();
+    let probe = net.add_tcp_probe(hosts[0], *hosts.last().unwrap(), SimTime::ZERO);
+    let path = net.trace_path(probe);
+    println!("path: {:?}", path.iter().map(|&n| net.topology().node(n).name().to_string()).collect::<Vec<_>>());
+    let dest_tor = path[path.len() - 2];
+    let path_agg = path[path.len() - 3];
+    let link = net.topology().link_between(path_agg, dest_tor).unwrap();
+    net.fail_link_at(ms(380), link);
+    net.run_until(ms(3000));
+    let mut s = ThroughputSeries::new();
+    s.extend_from_log(net.tcp_delivery_log(probe));
+    let bins = s.bins(SimTime::ZERO, ms(3000), SimDuration::from_millis(20));
+    for (i, b) in bins.iter().enumerate() {
+        if i % 5 == 0 || (17..40).contains(&i) { println!("bin {} ({}ms): {:.1} Mbps", i, i*20, b/1e6); }
+    }
+    println!("drops: {:?}", net.drops());
+    println!("total delivered bytes: {}", s.total_bytes());
+}

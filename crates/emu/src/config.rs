@@ -1,0 +1,106 @@
+//! Emulation parameters (paper §IV "Emulation environment").
+
+use dcn_routing::RouterConfig;
+use dcn_sim::{LinkSpec, SimDuration};
+use dcn_transport::TcpConfig;
+
+/// Which control plane runs the network (paper §V "Centralized Routing
+/// DCNs").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ControlPlaneMode {
+    /// The paper's main setting: distributed link-state routing (OSPF
+    /// with SPF throttling).
+    Distributed,
+    /// A PortLand-style central controller: the detecting switch reports
+    /// the failure, the controller recomputes global routes, and pushes
+    /// new tables to every switch.
+    Centralized {
+        /// Switch → controller failure-report latency.
+        report_delay: SimDuration,
+        /// Controller route recomputation time (grows with DCN scale,
+        /// per the paper's discussion).
+        compute_delay: SimDuration,
+        /// Controller → switch table-push latency.
+        push_delay: SimDuration,
+    },
+}
+
+impl ControlPlaneMode {
+    /// A representative centralized controller: 5 ms report, 50 ms
+    /// compute, 5 ms push.
+    pub fn centralized_default() -> Self {
+        ControlPlaneMode::Centralized {
+            report_delay: SimDuration::from_millis(5),
+            compute_delay: SimDuration::from_millis(50),
+            push_delay: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// All tunables of the packet-level emulator, defaulting to the paper's
+/// emulation setup: 1 Gbps / 5 µs links (~250 µs RTT), 60 ms failure
+/// detection, 200 ms SPF timer, 10 ms FIB update.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct EmuConfig {
+    /// Link bandwidth/propagation/buffering.
+    pub link: LinkSpec,
+    /// BFD-like interface failure detection delay (measured at ~60 ms on
+    /// the paper's testbed).
+    pub detection_delay: SimDuration,
+    /// Per-switch LSA processing delay ("the LSA propagation and the CPU
+    /// processing delay contribute a small part").
+    pub lsa_processing_delay: SimDuration,
+    /// Wire size of an LSA packet.
+    pub lsa_packet_bytes: u32,
+    /// TCP/IP header overhead added to every data segment.
+    pub header_bytes: u32,
+    /// Wire size of a pure ACK.
+    pub ack_bytes: u32,
+    /// UDP/IP header overhead for probe datagrams.
+    pub udp_header_bytes: u32,
+    /// Router timers (SPF throttle, FIB update).
+    pub router: RouterConfig,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Whether across links are OSPF-passive (default true): they carry
+    /// only the static backup routes, leaving baseline shortest paths
+    /// identical to the un-rewired fabric (§II-D: backup routes are not
+    /// used in forwarding unless failures happen).
+    pub across_links_passive: bool,
+    /// Distributed (default) or centralized control plane.
+    pub control_plane: ControlPlaneMode,
+}
+
+impl Default for EmuConfig {
+    fn default() -> Self {
+        EmuConfig {
+            link: LinkSpec::PAPER_EMULATION,
+            detection_delay: SimDuration::from_millis(60),
+            lsa_processing_delay: SimDuration::from_micros(500),
+            lsa_packet_bytes: 100,
+            header_bytes: 52,
+            ack_bytes: 52,
+            udp_header_bytes: 28,
+            router: RouterConfig::default(),
+            tcp: TcpConfig::default(),
+            across_links_passive: true,
+            control_plane: ControlPlaneMode::Distributed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = EmuConfig::default();
+        assert_eq!(c.detection_delay.as_millis(), 60);
+        assert_eq!(c.router.fib_update_delay.as_millis(), 10);
+        assert_eq!(c.router.throttle.initial_delay.as_millis(), 200);
+        assert_eq!(c.link.bandwidth_bps, 1_000_000_000);
+        assert_eq!(c.link.propagation.as_micros(), 5);
+        assert_eq!(c.tcp.min_rto.as_millis(), 200);
+    }
+}

@@ -1,0 +1,1146 @@
+//! The packet-level network emulator.
+//!
+//! [`Network`] owns the event loop and wires the substrates together: the
+//! topology and address plan (`dcn-net`), link transmission (`dcn-sim`),
+//! per-switch router processes (`dcn-routing`), host transport endpoints
+//! (`dcn-transport`), failure schedules (`dcn-failure`) and metric sinks
+//! (`dcn-metrics`). It plays the role NS3+DCE plays in the paper: every
+//! packet crosses real links, every switch does a real FIB lookup, and the
+//! control plane floods real LSA packets.
+
+use dcn_failure::FailureSchedule;
+use dcn_metrics::{CompletionStats, ConnectivityTracker, DelaySeries};
+use dcn_net::{
+    assign_addresses, AddressPlan, AddressingError, FlowKey, Layer, LinkId, NodeId,
+    NodeKind, Prefix, Protocol, Topology,
+};
+use dcn_routing::{
+    Adjacency, Lsa, Lsdb, NextHop, Route, RouteOrigin, RouterAction, RouterProcess,
+};
+use dcn_sim::{
+    Direction, EventQueue, LinkState, Packet, SimTime, TransmitVerdict,
+};
+use dcn_transport::{
+    TcpAck, TcpApp, TcpReceiver, TcpSegment, TcpSender, TcpSenderOutput, UdpDatagram, UdpSource,
+};
+
+use crate::config::{ControlPlaneMode, EmuConfig};
+
+/// Identifies a flow within one [`Network`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a partition-aggregate request within one [`Network`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RequestId(u32);
+
+/// What role a flow plays (determines bookkeeping on delivery).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum FlowRole {
+    /// The constant-rate UDP probe; arrivals feed connectivity metrics.
+    UdpProbe,
+    /// The paced TCP probe of the testbed experiments.
+    TcpProbe,
+    /// A fixed-size background transfer.
+    Transfer,
+    /// A partition-aggregate request; full delivery spawns the response.
+    Request(RequestId),
+    /// A partition-aggregate response; full delivery advances the request.
+    Response(RequestId),
+}
+
+enum Payload {
+    Udp(UdpDatagram),
+    TcpData { flow: FlowId, seg: TcpSegment },
+    TcpAckSeg { flow: FlowId, ack: TcpAck },
+    Lsa(Lsa),
+}
+
+enum Event {
+    Arrive {
+        link: LinkId,
+        to: NodeId,
+        packet: Packet<Payload>,
+    },
+    LsaProcess {
+        node: NodeId,
+        lsa: Lsa,
+        arrived_on: LinkId,
+    },
+    LinkChange {
+        link: LinkId,
+        up: bool,
+    },
+    LinkDirChange {
+        link: LinkId,
+        from: NodeId,
+        up: bool,
+    },
+    Detect {
+        node: NodeId,
+        link: LinkId,
+        up: bool,
+    },
+    SpfTimer {
+        node: NodeId,
+    },
+    FibInstall {
+        node: NodeId,
+        generation: u64,
+        routes: Vec<Route>,
+    },
+    UdpTick {
+        flow: FlowId,
+    },
+    TcpStart {
+        flow: FlowId,
+    },
+    TcpPace {
+        flow: FlowId,
+    },
+    TcpRto {
+        flow: FlowId,
+        token: u64,
+    },
+    /// Centralized control plane: the controller finishes recomputation
+    /// and pushes tables.
+    ControllerRecompute,
+    /// Centralized control plane: a pushed table lands at a switch.
+    ControllerInstall {
+        node: NodeId,
+        routes: Vec<Route>,
+    },
+}
+
+struct FlowState {
+    key: FlowKey,
+    src: NodeId,
+    dst: NodeId,
+    role: FlowRole,
+    total_bytes: u64,
+    started_at: SimTime,
+    delivered_at: Option<SimTime>,
+    sender: Option<TcpSender>,
+    receiver: Option<TcpReceiver>,
+    udp: Option<UdpSource>,
+    delivered_fired: bool,
+    connectivity: ConnectivityTracker,
+    delay: DelaySeries,
+}
+
+struct RequestState {
+    start: SimTime,
+    requester: NodeId,
+    response_bytes: u64,
+    remaining: usize,
+    completed: Option<SimTime>,
+}
+
+/// Packet-drop counters, by cause.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    /// No FIB route had a live next hop (total blackhole).
+    pub no_route: u64,
+    /// TTL expired (forwarding loops, e.g. the C7 ping-pong).
+    pub ttl_expired: u64,
+    /// Transmitted into a physically down link.
+    pub link_down: u64,
+    /// Output queue overflow.
+    pub queue_full: u64,
+}
+
+/// The packet-level emulator.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_emu::{EmuConfig, Network};
+/// use dcn_net::FatTree;
+/// use dcn_sim::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = FatTree::new(4)?.hosts_per_tor(1).build();
+/// let mut net = Network::new(topo, EmuConfig::default())?;
+/// let hosts = net.topology().hosts().to_vec();
+/// let probe = net.add_udp_probe(hosts[0], *hosts.last().unwrap(), SimTime::ZERO);
+/// net.run_until(SimTime::ZERO + SimDuration::from_millis(50));
+/// let report = net.udp_probe_report(probe);
+/// assert!(report.received > 400, "50ms at 100us per packet");
+/// assert!(report.lost <= 2, "only the in-flight tail is unreceived");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Network {
+    topo: Topology,
+    plan: AddressPlan,
+    config: EmuConfig,
+    queue: EventQueue<Event>,
+    links: Vec<LinkState>,
+    routers: Vec<Option<RouterProcess>>,
+    host_uplink: Vec<Option<(LinkId, NodeId)>>,
+    flows: Vec<FlowState>,
+    requests: Vec<RequestState>,
+    next_port: u16,
+    packet_seq: u64,
+    drops: DropCounters,
+    delivered_packets: u64,
+    /// Centralized mode: a controller recomputation is already pending.
+    recompute_pending: bool,
+}
+
+impl Network {
+    /// Builds an emulator over `topo`: assigns addresses, creates one
+    /// router process per switch, installs connected host routes at ToRs,
+    /// and warm-starts the control plane (the protocol is converged at
+    /// t = 0, as a long-running production network would be).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if address assignment fails (topology too large
+    /// for the paper's addressing scheme).
+    pub fn new(mut topo: Topology, config: EmuConfig) -> Result<Self, AddressingError> {
+        let plan = assign_addresses(&mut topo)?;
+        let n_nodes = topo.node_slots();
+        let n_links = topo.link_slots();
+
+        let mut routers: Vec<Option<RouterProcess>> = (0..n_nodes).map(|_| None).collect();
+        let mut host_uplink: Vec<Option<(LinkId, NodeId)>> = vec![None; n_nodes];
+
+        for node in topo.nodes() {
+            match node.kind() {
+                NodeKind::Switch(layer) => {
+                    let interfaces: Vec<Adjacency> = topo
+                        .neighbors(node.id())
+                        .filter(|&(_, n)| topo.node(n).kind().is_switch())
+                        .map(|(link, neighbor)| Adjacency { neighbor, link })
+                        .collect();
+                    let prefixes: Vec<Prefix> = if layer == Layer::Tor {
+                        plan.subnet_of(node.id()).into_iter().collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let mut router =
+                        RouterProcess::new(node.id(), config.router, interfaces, prefixes);
+                    if config.across_links_passive {
+                        router.set_passive(
+                            topo.across_links(node.id()).iter().copied(),
+                        );
+                    }
+                    routers[node.id().index()] = Some(router);
+                }
+                NodeKind::Host => {
+                    host_uplink[node.id().index()] = topo.neighbors(node.id()).next();
+                }
+            }
+        }
+
+        // Connected /32 routes for each ToR's hosts.
+        for node in topo.nodes().filter(|n| n.kind() == NodeKind::Host) {
+            let (link, tor) = host_uplink[node.id().index()]
+                .expect("every host attaches to a ToR");
+            let route = Route::new(
+                Prefix::host(node.addr()),
+                RouteOrigin::Connected,
+                0,
+                vec![NextHop {
+                    node: node.id(),
+                    link,
+                }],
+            );
+            routers[tor.index()]
+                .as_mut()
+                .expect("ToR has a router")
+                .install_permanent(route);
+        }
+
+        // Warm start: everyone originates, everyone installs everything.
+        let lsas: Vec<Lsa> = routers
+            .iter_mut()
+            .flatten()
+            .map(|r| r.originate_lsa())
+            .collect();
+        for router in routers.iter_mut().flatten() {
+            router.bootstrap(lsas.clone());
+        }
+
+        Ok(Network {
+            topo,
+            plan,
+            config,
+            queue: EventQueue::new(),
+            links: (0..n_links).map(|_| LinkState::new()).collect(),
+            routers,
+            host_uplink,
+            flows: Vec::new(),
+            requests: Vec::new(),
+            next_port: 40_000,
+            packet_seq: 0,
+            drops: DropCounters::default(),
+            delivered_packets: 0,
+            recompute_pending: false,
+        })
+    }
+
+    /// The (addressed) topology under emulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The address plan.
+    pub fn plan(&self) -> &AddressPlan {
+        &self.plan
+    }
+
+    /// The emulation configuration.
+    pub fn config(&self) -> &EmuConfig {
+        &self.config
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Packet-drop counters.
+    pub fn drops(&self) -> DropCounters {
+        self.drops
+    }
+
+    /// Packets delivered to end hosts.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Per-link transmission state (utilization and drop counters).
+    pub fn link_state(&self, link: LinkId) -> &LinkState {
+        &self.links[link.index()]
+    }
+
+    /// Total packets serialized onto any link (a load proxy).
+    pub fn total_transmitted(&self) -> u64 {
+        self.links.iter().map(LinkState::transmitted).sum()
+    }
+
+    /// The router process of a switch (read-only; for assertions).
+    pub fn router(&self, node: NodeId) -> Option<&RouterProcess> {
+        self.routers[node.index()].as_ref()
+    }
+
+    /// Installs static routes (F²Tree backup configuration) on switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target node is not a switch.
+    pub fn install_static_routes<I>(&mut self, routes: I)
+    where
+        I: IntoIterator<Item = (NodeId, Route)>,
+    {
+        for (node, route) in routes {
+            self.routers[node.index()]
+                .as_mut()
+                .unwrap_or_else(|| panic!("{node} is not a switch"))
+                .install_permanent(route);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flow creation
+    // ------------------------------------------------------------------
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1).max(1024);
+        p
+    }
+
+    fn flow_key(&mut self, src: NodeId, dst: NodeId, proto: Protocol) -> FlowKey {
+        let sport = self.alloc_port();
+        self.flow_key_with_port(src, dst, sport, proto)
+    }
+
+    /// The five-tuple a probe with this source port would use (for path
+    /// planning with [`Self::trace`] before committing to a port).
+    pub fn flow_key_with_port(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        sport: u16,
+        proto: Protocol,
+    ) -> FlowKey {
+        FlowKey::new(
+            self.topo.node(src).addr(),
+            self.topo.node(dst).addr(),
+            sport,
+            5001,
+            proto,
+        )
+    }
+
+    /// Adds the paper's constant-rate UDP probe from `src` to `dst`,
+    /// starting at `start` and running until the simulation ends.
+    pub fn add_udp_probe(&mut self, src: NodeId, dst: NodeId, start: SimTime) -> FlowId {
+        let sport = self.alloc_port();
+        self.add_udp_probe_with_port(src, dst, sport, start)
+    }
+
+    /// Like [`Self::add_udp_probe`] with an explicit source port (to pin
+    /// the probe onto a specific ECMP path).
+    pub fn add_udp_probe_with_port(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        sport: u16,
+        start: SimTime,
+    ) -> FlowId {
+        let key = self.flow_key_with_port(src, dst, sport, Protocol::Udp);
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowState {
+            key,
+            src,
+            dst,
+            role: FlowRole::UdpProbe,
+            total_bytes: 0,
+            started_at: start,
+            delivered_at: None,
+            sender: None,
+            receiver: None,
+            udp: Some(UdpSource::paper_probe(key)),
+            delivered_fired: false,
+            connectivity: ConnectivityTracker::new(),
+            delay: DelaySeries::new(),
+        });
+        self.queue.schedule(start, Event::UdpTick { flow: id });
+        id
+    }
+
+    /// Adds the paper's paced TCP probe (1448 B every 100 µs) from `src`
+    /// to `dst`, starting at `start`.
+    pub fn add_tcp_probe(&mut self, src: NodeId, dst: NodeId, start: SimTime) -> FlowId {
+        let sport = self.alloc_port();
+        self.add_tcp_probe_with_port(src, dst, sport, start)
+    }
+
+    /// Like [`Self::add_tcp_probe`] with an explicit source port.
+    pub fn add_tcp_probe_with_port(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        sport: u16,
+        start: SimTime,
+    ) -> FlowId {
+        let key = self.flow_key_with_port(src, dst, sport, Protocol::Tcp);
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowState {
+            key,
+            src,
+            dst,
+            role: FlowRole::TcpProbe,
+            total_bytes: 0,
+            started_at: start,
+            delivered_at: None,
+            sender: Some(TcpSender::new(
+                key,
+                self.config.tcp,
+                TcpApp::Paced {
+                    segment_bytes: self.config.tcp.mss,
+                    interval: dcn_sim::SimDuration::from_micros(100),
+                },
+            )),
+            receiver: Some(TcpReceiver::new()),
+            udp: None,
+            delivered_fired: false,
+            connectivity: ConnectivityTracker::new(),
+            delay: DelaySeries::new(),
+        });
+        self.queue.schedule(start, Event::TcpStart { flow: id });
+        id
+    }
+
+    /// Adds a fixed-size TCP transfer (background traffic) starting at
+    /// `start`.
+    pub fn add_transfer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: SimTime,
+    ) -> FlowId {
+        self.add_fixed_flow(src, dst, bytes, start, FlowRole::Transfer)
+    }
+
+    fn add_fixed_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: SimTime,
+        role: FlowRole,
+    ) -> FlowId {
+        let key = self.flow_key(src, dst, Protocol::Tcp);
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowState {
+            key,
+            src,
+            dst,
+            role,
+            total_bytes: bytes,
+            started_at: start,
+            delivered_at: None,
+            sender: Some(TcpSender::new(key, self.config.tcp, TcpApp::FixedSize { bytes })),
+            receiver: Some(TcpReceiver::new()),
+            udp: None,
+            delivered_fired: false,
+            connectivity: ConnectivityTracker::new(),
+            delay: DelaySeries::new(),
+        });
+        self.queue.schedule(start, Event::TcpStart { flow: id });
+        id
+    }
+
+    /// Adds a partition-aggregate request: `requester` sends
+    /// `request_bytes` to each worker; each worker responds with
+    /// `response_bytes`; the request completes when all responses have
+    /// been fully delivered back.
+    pub fn add_request(
+        &mut self,
+        start: SimTime,
+        requester: NodeId,
+        workers: &[NodeId],
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> RequestId {
+        let id = RequestId(self.requests.len() as u32);
+        self.requests.push(RequestState {
+            start,
+            requester,
+            response_bytes,
+            remaining: workers.len(),
+            completed: None,
+        });
+        for &worker in workers {
+            self.add_fixed_flow(requester, worker, request_bytes, start, FlowRole::Request(id));
+        }
+        id
+    }
+
+    /// Schedules a failure/repair timeline.
+    pub fn apply_failures(&mut self, schedule: FailureSchedule) {
+        for event in schedule.into_sorted() {
+            self.queue.schedule(
+                event.at,
+                Event::LinkChange {
+                    link: event.link,
+                    up: event.up,
+                },
+            );
+        }
+    }
+
+    /// Fails a single link at `at` (convenience for the deterministic
+    /// experiments).
+    pub fn fail_link_at(&mut self, at: SimTime, link: LinkId) {
+        self.queue.schedule(at, Event::LinkChange { link, up: false });
+    }
+
+    /// Fails only the `from` → other-end direction of a link at `at`
+    /// (unidirectional failure — the paper's stated future work). BFD
+    /// semantics: both endpoints mark the whole interface dead one
+    /// detection delay later, since BFD requires two-way liveness.
+    pub fn fail_link_direction_at(&mut self, at: SimTime, link: LinkId, from: NodeId) {
+        self.queue
+            .schedule(at, Event::LinkDirChange { link, from, up: false });
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Runs every event up to and including `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > end {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            self.dispatch(now, event);
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Arrive { link, to, packet } => self.on_arrive(now, link, to, packet),
+            Event::LsaProcess {
+                node,
+                lsa,
+                arrived_on,
+            } => {
+                let actions = self.routers[node.index()]
+                    .as_mut()
+                    .expect("LSA at a switch")
+                    .on_lsa(now, lsa, arrived_on);
+                self.handle_router_actions(now, node, actions);
+            }
+            Event::LinkChange { link, up } => self.on_link_change(now, link, up),
+            Event::LinkDirChange { link, from, up } => {
+                self.on_link_dir_change(now, link, from, up)
+            }
+            Event::Detect { node, link, up } => {
+                if let Some(router) = self.routers[node.index()].as_mut() {
+                    let actions = router.on_link_detected(now, link, up);
+                    match self.config.control_plane {
+                        ControlPlaneMode::Distributed => {
+                            self.handle_router_actions(now, node, actions);
+                        }
+                        ControlPlaneMode::Centralized {
+                            report_delay,
+                            compute_delay,
+                            ..
+                        } => {
+                            // The dead-set update above still drives fast
+                            // reroute; instead of flooding + SPF, the
+                            // switch reports to the controller.
+                            if !actions.is_empty() && !self.recompute_pending {
+                                self.recompute_pending = true;
+                                self.queue.schedule(
+                                    now + report_delay + compute_delay,
+                                    Event::ControllerRecompute,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Event::SpfTimer { node } => {
+                let actions = self.routers[node.index()]
+                    .as_mut()
+                    .expect("SPF at a switch")
+                    .on_spf_timer(now);
+                self.handle_router_actions(now, node, actions);
+            }
+            Event::FibInstall {
+                node,
+                generation,
+                routes,
+            } => {
+                self.routers[node.index()]
+                    .as_mut()
+                    .expect("install at a switch")
+                    .on_install(generation, routes);
+            }
+            Event::UdpTick { flow } => self.on_udp_tick(now, flow),
+            Event::TcpStart { flow } => {
+                let outputs = self.flows[flow.index()]
+                    .sender
+                    .as_mut()
+                    .expect("TCP flow has a sender")
+                    .on_start(now);
+                self.handle_tcp_outputs(now, flow, outputs);
+            }
+            Event::TcpPace { flow } => {
+                let outputs = self.flows[flow.index()]
+                    .sender
+                    .as_mut()
+                    .expect("TCP flow has a sender")
+                    .on_pace(now);
+                self.handle_tcp_outputs(now, flow, outputs);
+            }
+            Event::TcpRto { flow, token } => {
+                let outputs = self.flows[flow.index()]
+                    .sender
+                    .as_mut()
+                    .expect("TCP flow has a sender")
+                    .on_rto(now, token);
+                self.handle_tcp_outputs(now, flow, outputs);
+            }
+            Event::ControllerRecompute => self.on_controller_recompute(now),
+            Event::ControllerInstall { node, routes } => {
+                self.routers[node.index()]
+                    .as_mut()
+                    .expect("install at a switch")
+                    .force_install(routes);
+            }
+        }
+    }
+
+    /// Centralized mode: the controller recomputes global routes from the
+    /// current physical topology and pushes per-switch tables.
+    fn on_controller_recompute(&mut self, now: SimTime) {
+        self.recompute_pending = false;
+        let ControlPlaneMode::Centralized { push_delay, .. } = self.config.control_plane else {
+            return;
+        };
+        // Global view: live non-passive fabric links + ToR rack subnets.
+        let mut lsdb = Lsdb::new();
+        let switches: Vec<NodeId> = self
+            .topo
+            .nodes()
+            .filter(|n| n.kind().is_switch())
+            .map(|n| n.id())
+            .collect();
+        for &sw in &switches {
+            let router = self.routers[sw.index()].as_ref().expect("switch router");
+            let neighbors: Vec<Adjacency> = self
+                .topo
+                .neighbors(sw)
+                .filter(|&(l, n)| {
+                    self.topo.node(n).kind().is_switch()
+                        && self.links[l.index()].is_up()
+                        && !router.is_passive(l)
+                })
+                .map(|(link, neighbor)| Adjacency { neighbor, link })
+                .collect();
+            lsdb.install(Lsa {
+                origin: sw,
+                seq: 1,
+                neighbors,
+                prefixes: self
+                    .plan
+                    .subnet_of(sw)
+                    .into_iter()
+                    .collect(),
+            });
+        }
+        for &sw in &switches {
+            let routes = dcn_routing::compute_routes(&lsdb, sw);
+            self.queue.schedule(
+                now + push_delay,
+                Event::ControllerInstall { node: sw, routes },
+            );
+        }
+    }
+
+    fn on_link_change(&mut self, now: SimTime, link: LinkId, up: bool) {
+        self.links[link.index()].set_up(up);
+        let (a, b) = self.topo.link(link).endpoints();
+        for node in [a, b] {
+            if self.topo.node(node).kind().is_switch() {
+                self.queue.schedule(
+                    now + self.config.detection_delay,
+                    Event::Detect { node, link, up },
+                );
+            }
+        }
+    }
+
+    fn on_link_dir_change(&mut self, now: SimTime, link: LinkId, from: NodeId, up: bool) {
+        let entry = self.topo.link(link);
+        let dir = if from == entry.a() {
+            Direction::AToB
+        } else {
+            Direction::BToA
+        };
+        self.links[link.index()].set_dir_up(dir, up);
+        // BFD needs two-way liveness, so a one-way failure takes the
+        // interface down at *both* endpoints after the detection delay —
+        // unless the other direction is also down (state unchanged) or
+        // this is a repair that still leaves the other direction dead.
+        let interface_up = self.links[link.index()].is_up();
+        let (a, b) = entry.endpoints();
+        for node in [a, b] {
+            if self.topo.node(node).kind().is_switch() {
+                self.queue.schedule(
+                    now + self.config.detection_delay,
+                    Event::Detect {
+                        node,
+                        link,
+                        up: interface_up,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_router_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<RouterAction>) {
+        for action in actions {
+            match action {
+                RouterAction::FloodLsa { lsa, except } => {
+                    let targets: Vec<Adjacency> = self.routers[node.index()]
+                        .as_ref()
+                        .expect("flooding switch")
+                        .live_interfaces()
+                        .filter(|a| Some(a.link) != except)
+                        .copied()
+                        .collect();
+                    for adj in targets {
+                        let key = FlowKey::new(
+                            self.topo.node(node).addr(),
+                            self.topo.node(adj.neighbor).addr(),
+                            0,
+                            0,
+                            Protocol::Control,
+                        );
+                        let packet = self.make_packet(
+                            key,
+                            self.config.lsa_packet_bytes,
+                            now,
+                            Payload::Lsa(lsa.clone()),
+                        );
+                        self.transmit(now, adj.link, node, packet);
+                    }
+                }
+                RouterAction::ScheduleSpf { at } => {
+                    self.queue.schedule(at, Event::SpfTimer { node });
+                }
+                RouterAction::InstallRoutes {
+                    at,
+                    generation,
+                    routes,
+                } => {
+                    self.queue.schedule(
+                        at,
+                        Event::FibInstall {
+                            node,
+                            generation,
+                            routes,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn make_packet(
+        &mut self,
+        key: FlowKey,
+        size: u32,
+        now: SimTime,
+        payload: Payload,
+    ) -> Packet<Payload> {
+        let id = self.packet_seq;
+        self.packet_seq += 1;
+        Packet::new(id, key, size, now, payload)
+    }
+
+    /// Transmits from `from` onto `link`.
+    fn transmit(&mut self, now: SimTime, link: LinkId, from: NodeId, packet: Packet<Payload>) {
+        let entry = self.topo.link(link);
+        let (dir, to) = if from == entry.a() {
+            (Direction::AToB, entry.b())
+        } else {
+            (Direction::BToA, entry.a())
+        };
+        match self.links[link.index()].transmit(&self.config.link, dir, now, packet.size) {
+            TransmitVerdict::Deliver { arrival } => {
+                self.queue.schedule(arrival, Event::Arrive { link, to, packet });
+            }
+            TransmitVerdict::DroppedLinkDown => self.drops.link_down += 1,
+            TransmitVerdict::DroppedQueueFull => self.drops.queue_full += 1,
+        }
+    }
+
+    fn send_from_host(&mut self, now: SimTime, host: NodeId, packet: Packet<Payload>) {
+        let (link, _) = self.host_uplink[host.index()].expect("host has an uplink");
+        self.transmit(now, link, host, packet);
+    }
+
+    fn on_arrive(&mut self, now: SimTime, link: LinkId, to: NodeId, packet: Packet<Payload>) {
+        match self.topo.node(to).kind() {
+            NodeKind::Host => self.deliver_to_host(now, to, packet),
+            NodeKind::Switch(_) => {
+                if let Payload::Lsa(lsa) = packet.payload {
+                    self.queue.schedule(
+                        now + self.config.lsa_processing_delay,
+                        Event::LsaProcess {
+                            node: to,
+                            lsa,
+                            arrived_on: link,
+                        },
+                    );
+                } else {
+                    self.forward_at_switch(now, to, packet);
+                }
+            }
+        }
+    }
+
+    fn forward_at_switch(&mut self, now: SimTime, node: NodeId, mut packet: Packet<Payload>) {
+        if !packet.hop() {
+            self.drops.ttl_expired += 1;
+            return;
+        }
+        let hop = self.routers[node.index()]
+            .as_ref()
+            .expect("forwarding switch")
+            .forward(&packet.flow);
+        match hop {
+            Some(h) => self.transmit(now, h.link, node, packet),
+            None => self.drops.no_route += 1,
+        }
+    }
+
+    fn deliver_to_host(&mut self, now: SimTime, host: NodeId, packet: Packet<Payload>) {
+        debug_assert_eq!(packet.flow.dst, self.topo.node(host).addr());
+        self.delivered_packets += 1;
+        let sent_at = packet.sent_at;
+        match packet.payload {
+            Payload::Udp(dgram) => {
+                // Find the probe flow this belongs to (probes are few).
+                if let Some(idx) = self
+                    .flows
+                    .iter()
+                    .position(|f| f.key == packet.flow && f.role == FlowRole::UdpProbe)
+                {
+                    self.flows[idx].connectivity.record(now, dgram.seq);
+                    self.flows[idx].delay.record(sent_at, now);
+                }
+            }
+            Payload::TcpData { flow, seg } => {
+                let (ack, reached_total) = {
+                    let f = &mut self.flows[flow.index()];
+                    let ack = f
+                        .receiver
+                        .as_mut()
+                        .expect("TCP flow has a receiver")
+                        .on_segment(now, seg);
+                    let reached = !f.delivered_fired
+                        && f.total_bytes > 0
+                        && f.receiver.as_ref().unwrap().delivered() >= f.total_bytes;
+                    if reached {
+                        f.delivered_fired = true;
+                        f.delivered_at = Some(now);
+                    }
+                    (ack, reached)
+                };
+                // Send the ACK back from this host.
+                let reverse = self.flows[flow.index()].key.reversed();
+                let ack_packet =
+                    self.make_packet(reverse, self.config.ack_bytes, now, Payload::TcpAckSeg {
+                        flow,
+                        ack,
+                    });
+                self.send_from_host(now, host, ack_packet);
+                if reached_total {
+                    self.on_flow_delivered(now, flow);
+                }
+            }
+            Payload::TcpAckSeg { flow, ack } => {
+                let outputs = self.flows[flow.index()]
+                    .sender
+                    .as_mut()
+                    .expect("TCP flow has a sender")
+                    .on_ack(now, ack);
+                self.handle_tcp_outputs(now, flow, outputs);
+            }
+            Payload::Lsa(_) => {
+                // Hosts do not run the routing protocol; stray LSAs are
+                // dropped silently (cannot happen with correct flooding).
+            }
+        }
+    }
+
+    fn on_flow_delivered(&mut self, now: SimTime, flow: FlowId) {
+        let (role, src, dst) = {
+            let f = &self.flows[flow.index()];
+            (f.role, f.src, f.dst)
+        };
+        match role {
+            FlowRole::Request(req) => {
+                // The worker (dst) has the full request: send the response.
+                let bytes = self.requests[req.0 as usize].response_bytes;
+                let requester = self.requests[req.0 as usize].requester;
+                debug_assert_eq!(requester, src);
+                self.add_fixed_flow(dst, requester, bytes, now, FlowRole::Response(req));
+            }
+            FlowRole::Response(req) => {
+                let state = &mut self.requests[req.0 as usize];
+                state.remaining -= 1;
+                if state.remaining == 0 {
+                    state.completed = Some(now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_tcp_outputs(&mut self, now: SimTime, flow: FlowId, outputs: Vec<TcpSenderOutput>) {
+        for output in outputs {
+            match output {
+                TcpSenderOutput::Send(seg) => {
+                    let (key, src) = {
+                        let f = &self.flows[flow.index()];
+                        (f.key, f.src)
+                    };
+                    let size = seg.len + self.config.header_bytes;
+                    let packet = self.make_packet(key, size, now, Payload::TcpData { flow, seg });
+                    self.send_from_host(now, src, packet);
+                }
+                TcpSenderOutput::ArmRto { at, token } => {
+                    self.queue.schedule(at, Event::TcpRto { flow, token });
+                }
+                TcpSenderOutput::ArmPace { at } => {
+                    self.queue.schedule(at, Event::TcpPace { flow });
+                }
+                TcpSenderOutput::Complete { .. } => {
+                    // Sender-side completion; delivery-side bookkeeping
+                    // happens in on_flow_delivered.
+                }
+            }
+        }
+    }
+
+    fn on_udp_tick(&mut self, now: SimTime, flow: FlowId) {
+        let (dgram, next, key, src) = {
+            let f = &mut self.flows[flow.index()];
+            let (dgram, next) = f.udp.as_mut().expect("UDP flow has a source").on_tick(now);
+            (dgram, next, f.key, f.src)
+        };
+        let size = dgram.bytes + self.config.udp_header_bytes;
+        let packet = self.make_packet(key, size, now, Payload::Udp(dgram));
+        self.send_from_host(now, src, packet);
+        if let Some(at) = next {
+            self.queue.schedule(at, Event::UdpTick { flow });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reports
+    // ------------------------------------------------------------------
+
+    /// Traces the current forwarding path of `flow` from its source host,
+    /// honoring locally-detected-dead interfaces (i.e. exactly what the
+    /// data plane would do right now). Returns the node sequence; stops
+    /// after 64 hops (a loop).
+    pub fn trace_path(&self, flow: FlowId) -> Vec<NodeId> {
+        let f = &self.flows[flow.index()];
+        self.trace(f.key, f.src, f.dst)
+    }
+
+    /// Like [`Self::trace_path`] for an ad-hoc five-tuple.
+    pub fn trace(&self, key: FlowKey, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut current = match self.host_uplink[src.index()] {
+            Some((_, tor)) => tor,
+            None => return path,
+        };
+        for _ in 0..64 {
+            path.push(current);
+            if current == dst {
+                break;
+            }
+            match self.routers[current.index()] {
+                Some(ref router) => match router.forward(&key) {
+                    Some(hop) => current = hop.node,
+                    None => break,
+                },
+                None => break, // reached a host
+            }
+        }
+        path
+    }
+
+    /// The probe report for a UDP probe flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is not a UDP probe.
+    pub fn udp_probe_report(&self, flow: FlowId) -> UdpProbeReport<'_> {
+        let f = &self.flows[flow.index()];
+        assert_eq!(f.role, FlowRole::UdpProbe, "not a UDP probe");
+        let sent = f.udp.as_ref().expect("probe has a source").sent();
+        UdpProbeReport {
+            sent,
+            received: f.connectivity.received_distinct(),
+            lost: f.connectivity.lost(sent),
+            connectivity: &f.connectivity,
+            delay: &f.delay,
+        }
+    }
+
+    /// The receiver-side delivery log of a TCP flow (for throughput
+    /// binning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` has no receiver.
+    pub fn tcp_delivery_log(&self, flow: FlowId) -> &[(SimTime, u32)] {
+        self.flows[flow.index()]
+            .receiver
+            .as_ref()
+            .expect("TCP flow has a receiver")
+            .delivery_log()
+    }
+
+    /// Whether a fixed-size flow has been fully delivered.
+    pub fn is_delivered(&self, flow: FlowId) -> bool {
+        self.flows[flow.index()].delivered_fired
+    }
+
+    /// A fixed-size flow's completion time (start to full delivery), if
+    /// it has finished.
+    pub fn flow_completion_time(&self, flow: FlowId) -> Option<dcn_sim::SimDuration> {
+        let f = &self.flows[flow.index()];
+        f.delivered_at.map(|at| at.since(f.started_at))
+    }
+
+    /// Flow-completion times of every finished background transfer.
+    pub fn transfer_fcts(&self) -> Vec<dcn_sim::SimDuration> {
+        self.flows
+            .iter()
+            .filter(|f| f.role == FlowRole::Transfer)
+            .filter_map(|f| f.delivered_at.map(|at| at.since(f.started_at)))
+            .collect()
+    }
+
+    /// Count of background transfers that never completed.
+    pub fn unfinished_transfers(&self) -> u64 {
+        self.flows
+            .iter()
+            .filter(|f| f.role == FlowRole::Transfer && !f.delivered_fired)
+            .count() as u64
+    }
+
+    /// Completion statistics over all partition-aggregate requests.
+    pub fn request_completions(&self) -> CompletionStats {
+        let mut stats = CompletionStats::new();
+        for req in &self.requests {
+            match req.completed {
+                Some(end) => stats.record(req.start, end),
+                None => stats.record_unfinished(),
+            }
+        }
+        stats
+    }
+
+    /// Per-request completion instants (None = unfinished).
+    pub fn request_outcomes(&self) -> Vec<Option<SimTime>> {
+        self.requests.iter().map(|r| r.completed).collect()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.topo.name())
+            .field("flows", &self.flows.len())
+            .field("requests", &self.requests.len())
+            .field("now", &self.queue.now())
+            .field("events", &self.queue.processed())
+            .finish()
+    }
+}
+
+/// Report for a UDP probe flow.
+#[derive(Debug)]
+pub struct UdpProbeReport<'a> {
+    /// Datagrams sent.
+    pub sent: u64,
+    /// Distinct datagrams received.
+    pub received: u64,
+    /// Datagrams lost.
+    pub lost: u64,
+    /// The arrival record (gap analysis).
+    pub connectivity: &'a ConnectivityTracker,
+    /// Per-packet delays.
+    pub delay: &'a DelaySeries,
+}

@@ -1,0 +1,409 @@
+//! End-to-end emulator tests: the paper's recovery behaviour, replayed.
+
+use dcn_emu::{EmuConfig, FlowId, Network};
+use dcn_metrics::ThroughputSeries;
+use dcn_net::{FatTree, LinkId, NodeId, Topology};
+use dcn_sim::{SimDuration, SimTime};
+use f2tree::{network_backup_routes, F2TreeNetwork};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(v)
+}
+
+const FAIL_AT: u64 = 380;
+
+/// Builds a network with the F²Tree backup configuration installed.
+fn f2_network(k: u32, hosts_per_tor: u32) -> Network {
+    let f2 = F2TreeNetwork::build_with_hosts(k, hosts_per_tor).expect("valid k");
+    let backups = network_backup_routes(&f2);
+    let mut net = Network::new(f2.topology, EmuConfig::default()).expect("addressable");
+    net.install_static_routes(
+        backups
+            .into_iter()
+            .flat_map(|(n, rs)| rs.into_iter().map(move |r| (n, r))),
+    );
+    net
+}
+
+fn fat_network(k: u32, hosts_per_tor: u32) -> Network {
+    let topo = FatTree::new(k)
+        .expect("valid k")
+        .hosts_per_tor(hosts_per_tor)
+        .build();
+    Network::new(topo, EmuConfig::default()).expect("addressable")
+}
+
+/// End hosts for the probe: leftmost and rightmost.
+fn probe_endpoints(topo: &Topology) -> (NodeId, NodeId) {
+    let hosts = topo.hosts();
+    (hosts[0], *hosts.last().expect("hosts exist"))
+}
+
+/// The downward agg->ToR link on the probe's current path.
+fn downward_path_link(net: &Network, probe: FlowId) -> LinkId {
+    let path = net.trace_path(probe);
+    let dest_tor = path[path.len() - 2];
+    let path_agg = path[path.len() - 3];
+    net.topology()
+        .link_between(path_agg, dest_tor)
+        .expect("path link exists")
+}
+
+#[test]
+fn fat_tree_udp_loss_matches_the_papers_270ms() {
+    let mut net = fat_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(FAIL_AT), link);
+    net.run_until(ms(2000));
+
+    let report = net.udp_probe_report(probe);
+    let loss = report.connectivity.loss_around(ms(FAIL_AT)).unwrap();
+    // 60ms detection + 200ms SPF + 10ms FIB (+ flooding): ~270ms.
+    let loss_ms = loss.duration.as_millis();
+    assert!(
+        (265..=285).contains(&loss_ms),
+        "fat tree loss should be ~270ms, got {loss_ms}ms"
+    );
+}
+
+#[test]
+fn f2tree_udp_loss_matches_the_papers_60ms() {
+    let mut net = f2_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(FAIL_AT), link);
+    net.run_until(ms(2000));
+
+    let report = net.udp_probe_report(probe);
+    let loss = report.connectivity.loss_around(ms(FAIL_AT)).unwrap();
+    // Fast reroute: only the 60ms detection delay.
+    let loss_ms = loss.duration.as_millis();
+    assert!(
+        (58..=65).contains(&loss_ms),
+        "F2Tree loss should be ~60ms, got {loss_ms}ms"
+    );
+    // And zero blackholed packets after detection.
+    assert_eq!(net.drops().no_route, 0);
+}
+
+#[test]
+fn f2tree_reroute_adds_exactly_one_hop_of_delay() {
+    let mut net = f2_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(FAIL_AT), link);
+    net.run_until(ms(2000));
+
+    let report = net.udp_probe_report(probe);
+    // Fig. 5: ~100us baseline, ~117us during fast reroute, back to
+    // baseline after control-plane convergence.
+    let baseline = report.delay.mean_in(ms(0), ms(FAIL_AT)).unwrap();
+    let reroute = report.delay.mean_in(ms(460), ms(640)).unwrap();
+    let after = report.delay.mean_in(ms(700), ms(2000)).unwrap();
+    assert!((95..=105).contains(&baseline.as_micros()), "{baseline}");
+    assert!((112..=125).contains(&reroute.as_micros()), "{reroute}");
+    assert!((95..=105).contains(&after.as_micros()), "{after}");
+}
+
+#[test]
+fn packets_lost_shrink_by_about_three_quarters() {
+    let run = |mut net: Network| {
+        let (src, dst) = probe_endpoints(net.topology());
+        let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+        let link = downward_path_link(&net, probe);
+        net.fail_link_at(ms(FAIL_AT), link);
+        net.run_until(ms(2000));
+        net.udp_probe_report(probe).lost
+    };
+    let fat_lost = run(fat_network(4, 1));
+    let f2_lost = run(f2_network(4, 1));
+    let reduction = 1.0 - f2_lost as f64 / fat_lost as f64;
+    // Paper Table III: 75% reduction (1302 -> 310).
+    assert!(
+        (0.70..=0.85).contains(&reduction),
+        "lost {fat_lost} -> {f2_lost}: reduction {reduction:.2}"
+    );
+}
+
+#[test]
+fn tcp_collapse_is_rto_bound_in_f2tree_and_double_rto_in_fat_tree() {
+    let run = |mut net: Network| {
+        let (src, dst) = probe_endpoints(net.topology());
+        let probe = net.add_tcp_probe(src, dst, SimTime::ZERO);
+        let link = {
+            // Trace the TCP flow's own path (its hash may differ from UDP).
+            let path = net.trace_path(probe);
+            let dest_tor = path[path.len() - 2];
+            let path_agg = path[path.len() - 3];
+            net.topology().link_between(path_agg, dest_tor).unwrap()
+        };
+        net.fail_link_at(ms(FAIL_AT), link);
+        net.run_until(ms(3000));
+        let mut series = ThroughputSeries::new();
+        series.extend_from_log(net.tcp_delivery_log(probe));
+        series
+            .collapse_duration(
+                SimTime::ZERO,
+                ms(FAIL_AT),
+                ms(3000),
+                SimDuration::from_millis(20),
+            )
+            .expect("throughput recovers")
+    };
+    let f2 = run(f2_network(4, 1)).as_millis();
+    let fat = run(fat_network(4, 1)).as_millis();
+    // Paper Table III / Fig. 4(c): ~220ms vs ~600-700ms.
+    assert!((180..=260).contains(&f2), "F2Tree collapse ~220ms, got {f2}ms");
+    assert!((560..=720).contains(&fat), "fat tree collapse ~600-700ms, got {fat}ms");
+    assert!(fat > 2 * f2, "fat tree eats at least one doubled RTO");
+}
+
+#[test]
+fn fixed_transfer_completes_and_is_delivered() {
+    let mut net = fat_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let flow = net.add_transfer(src, dst, 1_000_000, SimTime::ZERO);
+    net.run_until(ms(2000));
+    assert!(net.is_delivered(flow));
+    let delivered: u64 = net
+        .tcp_delivery_log(flow)
+        .iter()
+        .map(|&(_, b)| b as u64)
+        .sum();
+    assert_eq!(delivered, 1_000_000);
+}
+
+#[test]
+fn partition_aggregate_request_completes_quickly_when_healthy() {
+    let mut net = f2_network(8, 4);
+    let hosts = net.topology().hosts().to_vec();
+    let workers: Vec<NodeId> = hosts[1..9].to_vec();
+    net.add_request(ms(10), hosts[0], &workers, 100, 2048);
+    net.run_until(ms(1000));
+    let stats = net.request_completions();
+    assert_eq!(stats.total(), 1);
+    assert_eq!(stats.unfinished(), 0);
+    let completion = stats.quantile(0.5).unwrap();
+    assert!(
+        completion.as_millis() < 5,
+        "healthy request should finish in a few ms, took {completion}"
+    );
+    assert_eq!(stats.deadline_miss_ratio(SimDuration::from_millis(250)), 0.0);
+}
+
+#[test]
+fn identical_seeds_replay_identical_traces() {
+    let run = || {
+        let mut net = f2_network(8, 4);
+        let hosts = net.topology().hosts().to_vec();
+        let probe = net.add_udp_probe(hosts[0], *hosts.last().unwrap(), SimTime::ZERO);
+        let flow = net.add_transfer(hosts[1], hosts[20], 500_000, ms(5));
+        let link = downward_path_link(&net, probe);
+        net.fail_link_at(ms(100), link);
+        net.run_until(ms(600));
+        (
+            net.events_processed(),
+            net.udp_probe_report(probe).received,
+            net.udp_probe_report(probe).lost,
+            net.is_delivered(flow),
+            net.drops(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn k8_f2tree_also_fast_reroutes() {
+    // The emulation scale of §IV: an 8-port, 3-layer DCN.
+    let mut net = f2_network(8, 4);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(FAIL_AT), link);
+    net.run_until(ms(1500));
+    let report = net.udp_probe_report(probe);
+    let loss = report.connectivity.loss_around(ms(FAIL_AT)).unwrap();
+    assert!(
+        (58..=65).contains(&loss.duration.as_millis()),
+        "k=8 F2Tree loss ~60ms, got {}",
+        loss.duration
+    );
+}
+
+#[test]
+fn repaired_link_returns_to_service_after_reconvergence() {
+    let mut net = fat_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(100), link);
+    // Repair at 1.5s; OSPF reconverges and may use the link again.
+    net.apply_failures({
+        let mut s = dcn_failure::FailureSchedule::new();
+        s.repair(ms(1500), link);
+        s
+    });
+    net.run_until(ms(4000));
+    let report = net.udp_probe_report(probe);
+    // Traffic flows at the end (no terminal blackhole).
+    let tail = report
+        .connectivity
+        .arrivals()
+        .iter()
+        .filter(|&&(t, _)| t > ms(3900))
+        .count();
+    assert!(tail > 900, "probe is healthy at the end, got {tail}");
+}
+
+#[test]
+fn unidirectional_failure_detected_by_both_endpoints() {
+    let mut net = f2_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let path = net.trace_path(probe);
+    let dest_tor = path[path.len() - 2];
+    let path_agg = path[path.len() - 3];
+    let link = net.topology().link_between(path_agg, dest_tor).unwrap();
+    // Fail only the downward (agg -> ToR) direction.
+    net.fail_link_direction_at(ms(FAIL_AT), link, path_agg);
+    net.run_until(ms(2000));
+    let report = net.udp_probe_report(probe);
+    let loss = report.connectivity.loss_around(ms(FAIL_AT)).unwrap();
+    assert!(
+        (58..=65).contains(&loss.duration.as_millis()),
+        "BFD takes the interface down both ways; F2Tree fast-reroutes: {}",
+        loss.duration
+    );
+}
+
+#[test]
+fn centralized_control_plane_converges_after_report_compute_push() {
+    use dcn_emu::ControlPlaneMode;
+    let config = EmuConfig {
+        control_plane: ControlPlaneMode::centralized_default(),
+        ..EmuConfig::default()
+    };
+    let topo = FatTree::new(4).unwrap().hosts_per_tor(1).build();
+    let mut net = Network::new(topo, config).unwrap();
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(FAIL_AT), link);
+    net.run_until(ms(2000));
+    let report = net.udp_probe_report(probe);
+    let loss = report.connectivity.loss_around(ms(FAIL_AT)).unwrap();
+    // detect (60) + report (5) + compute (50) + push (5) = 120ms.
+    let got = loss.duration.as_millis();
+    assert!((118..=126).contains(&got), "centralized recovery ~120ms, got {got}ms");
+}
+
+#[test]
+fn k16_f2tree_scales_and_fast_reroutes() {
+    // Table I at N=16: 266 switches, 784 hosts. A short probe run keeps
+    // this fast while proving the emulator handles the scale.
+    let mut net = f2_network(16, 1);
+    assert_eq!(net.topology().switch_count(), 266);
+    assert_eq!(net.topology().host_count(), 98);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let link = downward_path_link(&net, probe);
+    net.fail_link_at(ms(100), link);
+    net.run_until(ms(400));
+    let report = net.udp_probe_report(probe);
+    let loss = report.connectivity.loss_around(ms(100)).unwrap();
+    assert!(
+        (58..=65).contains(&loss.duration.as_millis()),
+        "k=16 fast reroute: {}",
+        loss.duration
+    );
+}
+
+#[test]
+fn congestion_fills_queues_and_tail_drops_without_breaking_tcp() {
+    // Eight senders blast one receiver through its single access link:
+    // classic incast. Queues overflow, TCP retransmits, and every byte
+    // still lands exactly once.
+    let mut net = f2_network(8, 4);
+    let hosts = net.topology().hosts().to_vec();
+    let sink = *hosts.last().unwrap();
+    let flows: Vec<_> = (0..8)
+        .map(|i| net.add_transfer(hosts[i], sink, 2_000_000, SimTime::ZERO))
+        .collect();
+    net.run_until(ms(5000));
+    assert!(
+        net.drops().queue_full > 0,
+        "incast must overflow the access-link queue: {:?}",
+        net.drops()
+    );
+    for flow in flows {
+        assert!(net.is_delivered(flow), "flow {flow:?} completes");
+        let delivered: u64 = net
+            .tcp_delivery_log(flow)
+            .iter()
+            .map(|&(_, b)| b as u64)
+            .sum();
+        assert_eq!(delivered, 2_000_000);
+    }
+    // The sink's access link carried the aggregate.
+    let access = net
+        .topology()
+        .neighbors(sink)
+        .next()
+        .map(|(l, _)| l)
+        .unwrap();
+    assert!(net.link_state(access).transmitted() > 10_000);
+}
+
+#[test]
+fn flapping_link_grows_the_spf_backoff_but_never_wedges_the_network() {
+    // A link flapping every 300ms keeps re-triggering the control plane;
+    // the throttle's exponential backoff absorbs the churn and traffic on
+    // unaffected paths keeps flowing the whole time.
+    let mut net = fat_network(8, 4);
+    let (src, dst) = probe_endpoints(net.topology());
+    let probe = net.add_udp_probe(src, dst, SimTime::ZERO);
+    let victim = downward_path_link(&net, probe);
+    let mut schedule = dcn_failure::FailureSchedule::new();
+    for i in 0..8u64 {
+        schedule.fail(ms(200 + i * 600), victim);
+        schedule.repair(ms(500 + i * 600), victim);
+    }
+    net.apply_failures(schedule);
+    net.run_until(ms(8000));
+
+    // The detecting switch's throttle backed off beyond the initial
+    // 200ms hold under the churn.
+    let (a, b) = net.topology().link(victim).endpoints();
+    let detecting = if net.topology().node(a).kind().is_switch() { a } else { b };
+    let hold = net.router(detecting).unwrap().throttle().hold();
+    assert!(
+        hold > SimDuration::from_millis(200),
+        "backoff grew under flapping, hold = {hold}"
+    );
+    // And the probe is healthy at the end (the link is up after flap 8).
+    let report = net.udp_probe_report(probe);
+    let tail = report
+        .connectivity
+        .arrivals()
+        .iter()
+        .filter(|&&(t, _)| t > ms(7800))
+        .count();
+    assert!(tail > 1800, "probe flows at the end: {tail}");
+}
+
+#[test]
+fn transfer_fcts_are_recorded() {
+    let mut net = fat_network(4, 1);
+    let (src, dst) = probe_endpoints(net.topology());
+    let flow = net.add_transfer(src, dst, 500_000, ms(10));
+    net.run_until(ms(2000));
+    let fct = net.flow_completion_time(flow).expect("finished");
+    // 500KB at ~1Gbps with slow start: a handful of milliseconds.
+    assert!(fct.as_millis() < 50, "fct {fct}");
+    assert_eq!(net.transfer_fcts().len(), 1);
+    assert_eq!(net.unfinished_transfers(), 0);
+}

@@ -1,0 +1,184 @@
+//! Regenerates every table and figure of the paper at paper scale.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
+//!                              c7x|ablation|centralized|unidirectional|all]
+//! ```
+//!
+//! With no target, everything runs. `--quick` shrinks the Fig. 6
+//! workload 10x; `--out DIR` additionally writes CSV artifacts.
+
+use std::path::PathBuf;
+
+use dcn_failure::Condition;
+use f2tree_experiments::artifacts;
+use f2tree_experiments::conditions::{
+    format_fig4, format_table4, run_condition, run_fig4, ConditionConfig,
+};
+use f2tree_experiments::extensions::{
+    format_ablation, format_aspen, format_bisection, format_c7_wide, format_centralized,
+    run_aspen_baseline, run_bisection, run_c7_wide, run_centralized_sweep, run_timer_ablation,
+    run_unidirectional,
+};
+use f2tree_experiments::fig7::{format_fig7, run_fig7, Fig7Config};
+use f2tree_experiments::plot::{sparkline, sparkline_values};
+use f2tree_experiments::summary::{format_summary, run_summary};
+use f2tree_experiments::table1::{format_table1, run_table1};
+use f2tree_experiments::table2::{format_table2, run_table2};
+use f2tree_experiments::testbed::{format_table3, run_table3, TestbedConfig};
+use f2tree_experiments::workload::{
+    format_fig6, format_fig6_stats, run_fig6, run_fig6_multiseed, WorkloadConfig,
+};
+use f2tree_experiments::Design;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    let mut skip_next = false;
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| {
+        if name == "fig6seeds" {
+            // Opt-in only: 20 full workload runs.
+            return targets.contains(&name);
+        }
+        targets.is_empty() || targets.contains(&"all") || targets.contains(&name)
+    };
+
+    if want("table1") {
+        for n in [8u32, 16, 48, 128] {
+            println!("{}", format_table1(n, &run_table1(n)));
+        }
+    }
+    if want("table2") {
+        println!("{}", format_table2(&run_table2(8)));
+    }
+    if want("table3") || want("fig2") {
+        let cfg = TestbedConfig::default();
+        let results = run_table3(&cfg);
+        println!("{}", format_table3(&results));
+        println!("Fig. 2 receiving throughput (each char = one 20ms bin):");
+        for r in &results {
+            println!("  {:<9} UDP |{}|", r.design.to_string(), sparkline_values(&r.udp_throughput_mbps));
+            println!("  {:<9} TCP |{}|", r.design.to_string(), sparkline_values(&r.tcp_throughput_mbps));
+        }
+        println!();
+        if let Some(dir) = &out_dir {
+            artifacts::export_fig2(dir, &results, cfg.bin_ms).expect("write fig2 csv");
+        }
+    }
+    if want("table4") {
+        println!("{}", format_table4());
+    }
+    if want("fig4") {
+        let cfg = ConditionConfig::default();
+        let results = run_fig4(&cfg);
+        println!("{}", format_fig4(&results));
+        if let Some(dir) = &out_dir {
+            artifacts::export_fig4(dir, &results).expect("write fig4 csv");
+        }
+    }
+    if want("fig5") {
+        let cfg = ConditionConfig::default();
+        println!("Fig. 5: end-to-end delay during recovery (each char = 10ms; blank = loss):");
+        let mut results = Vec::new();
+        for (design, condition) in [
+            (Design::FatTree, Condition::C1),
+            (Design::F2Tree, Condition::C1),
+            (Design::F2Tree, Condition::C4),
+            (Design::F2Tree, Condition::C5),
+            (Design::F2Tree, Condition::C7),
+        ] {
+            let r = run_condition(design, condition, &cfg);
+            let series: Vec<Option<f64>> = r
+                .delay_series
+                .iter()
+                .take(50)
+                .map(|&(_, d)| d)
+                .collect();
+            println!("  {:<9} {} |{}|", design.to_string(), r.condition, sparkline(&series));
+            results.push(r);
+        }
+        println!();
+        if let Some(dir) = &out_dir {
+            artifacts::export_fig5(dir, &results).expect("write fig5 csv");
+        }
+    }
+    if want("fig6") {
+        let cfg = if quick {
+            WorkloadConfig::quick()
+        } else {
+            WorkloadConfig::default()
+        };
+        let results = run_fig6(&cfg);
+        println!("{}", format_fig6(&results));
+        if let Some(dir) = &out_dir {
+            artifacts::export_fig6(dir, &results).expect("write fig6 csv");
+        }
+    }
+    if want("fig6seeds") {
+        let base = if quick {
+            WorkloadConfig::quick()
+        } else {
+            WorkloadConfig::default()
+        };
+        let stats = run_fig6_multiseed(&base, &[20150701, 42, 7, 1234, 99]);
+        println!("{}", format_fig6_stats(&stats));
+    }
+    if want("fig7") {
+        println!("{}", format_fig7(&run_fig7(&Fig7Config::default())));
+    }
+    if want("bisection") {
+        println!(
+            "{}",
+            format_bisection(&[
+                run_bisection(Design::FatTree),
+                run_bisection(Design::F2Tree)
+            ])
+        );
+    }
+    if want("aspen") {
+        println!("{}", format_aspen(&run_aspen_baseline()));
+    }
+    if want("c7x") {
+        println!("{}", format_c7_wide(&run_c7_wide()));
+    }
+    if want("ablation") {
+        println!("{}", format_ablation(&run_timer_ablation()));
+    }
+    if want("centralized") {
+        println!("{}", format_centralized(&run_centralized_sweep()));
+    }
+    if want("summary") {
+        println!("{}", format_summary(&run_summary()));
+    }
+    if want("unidirectional") {
+        println!("Unidirectional agg->ToR failure (BFD detects both ways):");
+        for design in [Design::FatTree, Design::F2Tree] {
+            let r = run_unidirectional(design);
+            println!("  {design}: loss {}us", r.connectivity_loss_us);
+        }
+        println!();
+    }
+}

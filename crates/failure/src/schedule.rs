@@ -1,0 +1,132 @@
+//! Failure schedules: timed link up/down events.
+
+use dcn_net::LinkId;
+use dcn_sim::SimTime;
+
+/// One link state change. All failures are bidirectional, matching the
+/// paper's emulation ("all the link failures in our emulation are
+/// bidirectional").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// When the change happens (physically; detection lags by the
+    /// emulator's detection delay).
+    pub at: SimTime,
+    /// The affected link.
+    pub link: LinkId,
+    /// `true` = the link comes back up, `false` = it fails.
+    pub up: bool,
+}
+
+/// A time-ordered failure schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Adds a failure (link down) at `at`.
+    pub fn fail(&mut self, at: SimTime, link: LinkId) -> &mut Self {
+        self.events.push(FailureEvent {
+            at,
+            link,
+            up: false,
+        });
+        self
+    }
+
+    /// Adds a repair (link up) at `at`.
+    pub fn repair(&mut self, at: SimTime, link: LinkId) -> &mut Self {
+        self.events.push(FailureEvent { at, link, up: true });
+        self
+    }
+
+    /// Adds a raw event.
+    pub fn push(&mut self, event: FailureEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The events in time order (stable for simultaneous events).
+    pub fn into_sorted(mut self) -> Vec<FailureEvent> {
+        self.events.sort_by_key(|e| e.at);
+        self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled *failures* (down events).
+    pub fn failure_count(&self) -> usize {
+        self.events.iter().filter(|e| !e.up).count()
+    }
+}
+
+impl FromIterator<FailureEvent> for FailureSchedule {
+    fn from_iter<I: IntoIterator<Item = FailureEvent>>(iter: I) -> Self {
+        FailureSchedule {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<FailureEvent> for FailureSchedule {
+    fn extend<I: IntoIterator<Item = FailureEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn sorted_order_is_chronological_and_stable() {
+        let mut s = FailureSchedule::new();
+        s.fail(at(300), LinkId::new(1));
+        s.fail(at(100), LinkId::new(2));
+        s.repair(at(300), LinkId::new(2));
+        let events = s.into_sorted();
+        assert_eq!(events[0].link, LinkId::new(2));
+        assert_eq!(events[1].at, at(300));
+        // Stable: the earlier-inserted 300ms event stays first.
+        assert_eq!(events[1].link, LinkId::new(1));
+        assert_eq!(events[2].link, LinkId::new(2));
+    }
+
+    #[test]
+    fn failure_count_ignores_repairs() {
+        let mut s = FailureSchedule::new();
+        s.fail(at(1), LinkId::new(1)).repair(at(2), LinkId::new(1));
+        assert_eq!(s.failure_count(), 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: FailureSchedule = vec![FailureEvent {
+            at: at(5),
+            link: LinkId::new(0),
+            up: false,
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 1);
+    }
+}

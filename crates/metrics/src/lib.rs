@@ -1,0 +1,40 @@
+//! # dcn-metrics — measurement substrate
+//!
+//! The exact metrics the paper reports, computed the way the paper
+//! computes them:
+//!
+//! * [`ConnectivityTracker`] — duration of connectivity loss and packets
+//!   lost from the constant-rate UDP probe (Table III, Fig. 4(a)/(b)),
+//! * [`ThroughputSeries`] — 20 ms-binned receiving throughput and the
+//!   *duration of throughput collapse* (< ½ pre-failure average;
+//!   Fig. 2, Fig. 4(c)),
+//! * [`DelaySeries`] — per-packet end-to-end delay over time (Fig. 5),
+//! * [`CompletionStats`] — request completion times, deadline-miss
+//!   ratios and CDFs (Fig. 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcn_metrics::CompletionStats;
+//! use dcn_sim::SimDuration;
+//!
+//! let mut stats = CompletionStats::new();
+//! stats.record_duration(SimDuration::from_millis(40));
+//! stats.record_duration(SimDuration::from_millis(600)); // RTO-delayed
+//! assert_eq!(stats.deadline_miss_ratio(SimDuration::from_millis(250)), 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod completion;
+mod connectivity;
+mod delay;
+mod fct;
+mod throughput;
+
+pub use completion::CompletionStats;
+pub use connectivity::{ConnectivityLoss, ConnectivityTracker};
+pub use delay::{DelaySample, DelaySeries};
+pub use fct::DurationSummary;
+pub use throughput::ThroughputSeries;

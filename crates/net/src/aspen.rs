@@ -1,0 +1,222 @@
+//! Aspen tree ⟨f, 0⟩ builder (Walraed-Sullivan et al., CoNEXT 2013) —
+//! the fault-tolerant baseline of Table I.
+//!
+//! An Aspen tree adds fault tolerance between the aggregation and core
+//! layers by *duplicating* links: with fault-tolerance value `f`, each
+//! aggregation switch connects to each of its core switches with `f + 1`
+//! parallel links. The duplication consumes ports, shrinking the fabric
+//! to `N/(f+1)` pods — Table I's `5N²/(4(f+1))` switches supporting
+//! `N³/(4(f+1))` hosts.
+//!
+//! The structural consequence the paper leans on: Aspen gains immediate
+//! backup links **only** for links in the fault-tolerant (agg–core)
+//! layer; agg→ToR downward links remain unprotected, so ToR-level
+//! failures still pay the full control-plane convergence cost.
+
+use crate::id::{NodeId, PodId};
+use crate::topology::{Layer, LinkClass, Topology, TopologyError};
+
+/// Builder for an Aspen tree ⟨f, 0⟩.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_net::AspenTree;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // N=8, f=1: half the pods of a fat tree, double agg-core links.
+/// let topo = AspenTree::new(8, 1)?.build();
+/// assert_eq!(topo.switch_count() as u32, 5 * 8 * 8 / (4 * 2));
+/// assert_eq!(topo.host_count() as u32, 8 * 8 * 8 / (4 * 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AspenTree {
+    k: u32,
+    f: u32,
+    hosts_per_tor: u32,
+}
+
+impl AspenTree {
+    /// Creates a builder for a `k`-port Aspen tree with agg–core fault
+    /// tolerance `f ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] unless `k` is even and
+    /// at least 4, `f ≥ 1`, `(f+1)` divides `k`, and `(f+1)` divides
+    /// `k/2` (so the per-group duplication is integral).
+    pub fn new(k: u32, f: u32) -> Result<Self, TopologyError> {
+        if k < 4 || !k.is_multiple_of(2) {
+            return Err(TopologyError::InvalidParameter(format!(
+                "Aspen tree requires an even port count >= 4, got {k}"
+            )));
+        }
+        if f == 0 {
+            return Err(TopologyError::InvalidParameter(
+                "Aspen fault tolerance f must be >= 1 (f = 0 is a fat tree)".into(),
+            ));
+        }
+        let c = f + 1;
+        if !k.is_multiple_of(c) || !(k / 2).is_multiple_of(c) {
+            return Err(TopologyError::InvalidParameter(format!(
+                "f + 1 = {c} must divide both k = {k} and k/2"
+            )));
+        }
+        Ok(AspenTree {
+            k,
+            f,
+            hosts_per_tor: k / 2,
+        })
+    }
+
+    /// Overrides the number of hosts per ToR (default `k/2`).
+    pub fn hosts_per_tor(mut self, hosts: u32) -> Self {
+        self.hosts_per_tor = hosts;
+        self
+    }
+
+    /// The fault-tolerance value.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Builds the topology.
+    pub fn build(&self) -> Topology {
+        let k = self.k;
+        let c = self.f + 1; // link duplication factor
+        let pods = k / c;
+        let half = k / 2;
+        let cores_per_group = half / c;
+        let mut topo = Topology::new(format!("aspen-k{k}-f{}", self.f), Some(k));
+
+        let mut tors: Vec<Vec<NodeId>> = Vec::with_capacity(pods as usize);
+        let mut aggs: Vec<Vec<NodeId>> = Vec::with_capacity(pods as usize);
+        for p in 0..pods {
+            let pod = PodId::new(p);
+            tors.push(
+                (0..half)
+                    .map(|t| topo.add_switch(format!("tor-p{p}-t{t}"), Layer::Tor, pod, t))
+                    .collect(),
+            );
+            aggs.push(
+                (0..half)
+                    .map(|a| topo.add_switch(format!("agg-p{p}-a{a}"), Layer::Agg, pod, a))
+                    .collect(),
+            );
+        }
+        // Core groups: one per aggregation index, each with half/c cores;
+        // every core connects to its agg in every pod with c parallel
+        // links (the fault-tolerant layer). Core ports: pods * c = k.
+        let mut cores: Vec<Vec<NodeId>> = Vec::with_capacity(half as usize);
+        for g in 0..half {
+            let group = PodId::new(g);
+            cores.push(
+                (0..cores_per_group)
+                    .map(|i| topo.add_switch(format!("core-g{g}-c{i}"), Layer::Core, group, i))
+                    .collect(),
+            );
+        }
+
+        for p in 0..pods as usize {
+            for &tor in &tors[p] {
+                for &agg in &aggs[p] {
+                    topo.add_link(tor, agg, LinkClass::Vertical)
+                        .expect("aspen wiring fits the port budget");
+                }
+            }
+            for (a, &agg) in aggs[p].iter().enumerate() {
+                for &core in &cores[a] {
+                    for _ in 0..c {
+                        topo.add_link(agg, core, LinkClass::Vertical)
+                            .expect("aspen wiring fits the port budget");
+                    }
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // p names the pod in host names
+        for p in 0..pods as usize {
+            for (t, &tor) in tors[p].iter().enumerate() {
+                for h in 0..self.hosts_per_tor {
+                    let host = topo.add_host(format!("host-p{p}-t{t}-h{h}"));
+                    topo.add_link(host, tor, LinkClass::HostAccess)
+                        .expect("aspen wiring fits the port budget");
+                }
+            }
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_table1_closed_forms() {
+        for (k, f) in [(8u32, 1u32), (12, 1), (12, 2), (16, 1), (16, 3)] {
+            let c = f + 1;
+            let topo = AspenTree::new(k, f).unwrap().build();
+            assert_eq!(
+                topo.switch_count() as u32,
+                5 * k * k / (4 * c),
+                "switches at k={k}, f={f}"
+            );
+            assert_eq!(
+                topo.host_count() as u32,
+                k * k * k / (4 * c),
+                "hosts at k={k}, f={f}"
+            );
+            assert!(topo.is_connected());
+        }
+    }
+
+    #[test]
+    fn every_switch_uses_exactly_k_ports() {
+        let topo = AspenTree::new(8, 1).unwrap().build();
+        for node in topo.nodes().filter(|n| n.kind().is_switch()) {
+            assert_eq!(topo.degree(node.id()), 8, "{}", node.name());
+        }
+    }
+
+    #[test]
+    fn agg_core_links_are_duplicated_f_plus_one_times() {
+        let topo = AspenTree::new(8, 1).unwrap().build();
+        for agg in topo.layer_switches(Layer::Agg) {
+            let cores: std::collections::HashSet<NodeId> = topo
+                .upward_links(agg)
+                .iter()
+                .map(|&l| topo.link(l).other_end(agg))
+                .collect();
+            for &core in &cores {
+                assert_eq!(
+                    topo.links_between(agg, core).len(),
+                    2,
+                    "f=1 gives 2 parallel links"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tor_agg_links_remain_single() {
+        // The structural gap the paper exploits: only the fault-tolerant
+        // layer is protected.
+        let topo = AspenTree::new(8, 1).unwrap().build();
+        for tor in topo.layer_switches(Layer::Tor) {
+            for &l in &topo.upward_links(tor) {
+                let agg = topo.link(l).other_end(tor);
+                assert_eq!(topo.links_between(tor, agg).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AspenTree::new(8, 0).is_err());
+        assert!(AspenTree::new(8, 2).is_err()); // 3 does not divide 8
+        assert!(AspenTree::new(6, 1).is_err()); // 2 divides 6 but not 3
+        assert!(AspenTree::new(5, 1).is_err());
+    }
+}

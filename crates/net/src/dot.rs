@@ -1,0 +1,112 @@
+//! Graphviz DOT export for topologies.
+//!
+//! `dot -Tsvg` of the output renders the rewiring visually: vertical
+//! fabric links in black, F²Tree across rings in red, hosts as small
+//! boxes — handy for eyeballing what [`rewire_fat_tree`] did to a fabric.
+//!
+//! [`rewire_fat_tree`]: https://docs.rs/f2tree
+
+use std::fmt::Write as _;
+
+use crate::topology::{Layer, LinkClass, NodeKind, Topology};
+
+/// Renders the live topology as a Graphviz `graph` document.
+///
+/// Layers map to ranks (cores on top), so `dot` draws the familiar
+/// multi-rooted tree. Across links are styled red and constraint-free so
+/// they bend around the pod instead of distorting the ranking.
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", topo.name());
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+
+    for (layer, rank) in [
+        (Layer::Core, "max"),
+        (Layer::Agg, "same"),
+        (Layer::Tor, "same"),
+    ] {
+        let names: Vec<String> = topo
+            .layer_switches(layer)
+            .map(|n| format!("\"{}\"", topo.node(n).name()))
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "  {{ rank={rank}; {} }}", names.join(" "));
+        }
+    }
+    for node in topo.nodes() {
+        match node.kind() {
+            NodeKind::Host => {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" [shape=point, xlabel=\"{}\"];",
+                    node.name(),
+                    node.addr()
+                );
+            }
+            NodeKind::Switch(_) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" [label=\"{}\\n{}\"];",
+                    node.name(),
+                    node.name(),
+                    node.addr()
+                );
+            }
+        }
+    }
+    for link in topo.links() {
+        let a = topo.node(link.a()).name();
+        let b = topo.node(link.b()).name();
+        let style = match link.class() {
+            LinkClass::Across => " [color=red, style=bold, constraint=false]",
+            LinkClass::HostAccess => " [color=gray]",
+            LinkClass::Vertical => "",
+        };
+        let _ = writeln!(out, "  \"{a}\" -- \"{b}\"{style};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTree;
+
+    #[test]
+    fn dot_contains_every_live_node_and_link() {
+        let topo = FatTree::new(4).unwrap().hosts_per_tor(1).build();
+        let dot = to_dot(&topo);
+        assert!(dot.starts_with("graph \"fat-tree-k4\""));
+        for node in topo.nodes() {
+            assert!(dot.contains(node.name()), "missing {}", node.name());
+        }
+        let edges = dot.matches(" -- ").count();
+        assert_eq!(edges, topo.links().count());
+    }
+
+    #[test]
+    fn across_links_are_styled_red() {
+        use crate::id::PodId;
+        let mut topo = Topology::new("ring", Some(2));
+        let a = topo.add_switch("a", Layer::Agg, PodId::new(0), 0);
+        let b = topo.add_switch("b", Layer::Agg, PodId::new(0), 1);
+        topo.add_link(a, b, LinkClass::Across).unwrap();
+        let dot = to_dot(&topo);
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("constraint=false"));
+    }
+
+    #[test]
+    fn dot_is_balanced_braces() {
+        let topo = FatTree::new(6).unwrap().build();
+        let dot = to_dot(&topo);
+        assert_eq!(
+            dot.matches('{').count(),
+            dot.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

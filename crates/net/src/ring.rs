@@ -1,0 +1,113 @@
+//! Across-link rings (the structure F²Tree's rewiring creates per pod).
+//!
+//! Each pod's switches form a ring through *across links*. Ring direction
+//! matters: the backup route through the **rightward** across link gets the
+//! longer prefix (DCN prefix), the **leftward** one the shorter covering
+//! prefix, which is how F²Tree avoids transient loops (paper §II-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{LinkId, NodeId};
+
+/// One pod's across-link ring, in ring order.
+///
+/// `right_links[i]` is the across link from `members[i]` to
+/// `members[(i+1) % n]` — member `i`'s *rightward* link and member
+/// `i+1`'s *leftward* link. A two-member ring has two parallel links
+/// (as in the paper's k=4 testbed, Fig. 1(b)).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PodRing {
+    /// Ring members in order.
+    pub members: Vec<NodeId>,
+    /// `right_links[i]` connects `members[i]` to its rightward neighbor.
+    pub right_links: Vec<LinkId>,
+}
+
+impl PodRing {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The ring position of `node`, if it is a member.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.members.iter().position(|&m| m == node)
+    }
+
+    /// The rightward neighbor of `node`.
+    pub fn right_neighbor(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position(node)?;
+        Some(self.members[(i + 1) % self.members.len()])
+    }
+
+    /// The leftward neighbor of `node`.
+    pub fn left_neighbor(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position(node)?;
+        let n = self.members.len();
+        Some(self.members[(i + n - 1) % n])
+    }
+
+    /// The across link from `node` to its rightward neighbor.
+    pub fn right_link(&self, node: NodeId) -> Option<LinkId> {
+        let i = self.position(node)?;
+        Some(self.right_links[i])
+    }
+
+    /// The across link from `node` to its leftward neighbor.
+    pub fn left_link(&self, node: NodeId) -> Option<LinkId> {
+        let i = self.position(node)?;
+        let n = self.members.len();
+        Some(self.right_links[(i + n - 1) % n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> PodRing {
+        PodRing {
+            members: (0..n).map(NodeId::new).collect(),
+            right_links: (0..n).map(LinkId::new).collect(),
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap_around() {
+        let r = ring(4);
+        assert_eq!(r.right_neighbor(NodeId::new(3)), Some(NodeId::new(0)));
+        assert_eq!(r.left_neighbor(NodeId::new(0)), Some(NodeId::new(3)));
+        assert_eq!(r.right_neighbor(NodeId::new(1)), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn left_link_is_the_left_neighbors_right_link() {
+        let r = ring(4);
+        assert_eq!(r.right_link(NodeId::new(1)), Some(LinkId::new(1)));
+        assert_eq!(r.left_link(NodeId::new(1)), Some(LinkId::new(0)));
+        assert_eq!(r.left_link(NodeId::new(0)), Some(LinkId::new(3)));
+    }
+
+    #[test]
+    fn two_member_ring_uses_parallel_links() {
+        let r = ring(2);
+        // Member 0's right link is link 0, its left link is link 1 —
+        // distinct parallel links between the same two switches.
+        assert_eq!(r.right_link(NodeId::new(0)), Some(LinkId::new(0)));
+        assert_eq!(r.left_link(NodeId::new(0)), Some(LinkId::new(1)));
+        assert_eq!(r.right_neighbor(NodeId::new(0)), Some(NodeId::new(1)));
+        assert_eq!(r.left_neighbor(NodeId::new(0)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn non_member_queries_return_none() {
+        let r = ring(3);
+        assert_eq!(r.position(NodeId::new(9)), None);
+        assert_eq!(r.right_link(NodeId::new(9)), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! VL2 builder (Greenberg et al., SIGCOMM 2009; §V, Fig. 7(b) of the paper).
+//!
+//! VL2 is a 3-layer Clos: intermediate (core) and aggregation switches form
+//! a complete bipartite graph, and every ToR attaches to exactly two
+//! aggregation switches. The dense agg↔intermediate interconnect already
+//! provides immediate backup links for core→agg downward failures, but the
+//! agg→ToR downward links still lack redundancy — which is exactly where
+//! the paper applies the F²Tree scheme in Fig. 7(b).
+
+use crate::id::{NodeId, PodId};
+use crate::topology::{Layer, LinkClass, Topology, TopologyError};
+
+/// Builder for a VL2 fabric with `d_a`-port aggregation and `d_i`-port
+/// intermediate switches.
+///
+/// Sizing follows the VL2 paper: `d_a/2` intermediates, `d_i` aggregation
+/// switches, and `d_a * d_i / 4` ToRs, each ToR dual-homed to two
+/// consecutive aggregation switches.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_net::Vl2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = Vl2::new(4, 4)?.build();
+/// assert_eq!(topo.switch_count(), 2 + 4 + 4); // intermediates + aggs + tors
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Vl2 {
+    d_a: u32,
+    d_i: u32,
+    hosts_per_tor: u32,
+    spare_agg_ports: u32,
+}
+
+impl Vl2 {
+    /// Creates a VL2 builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] unless both degrees are
+    /// even and at least 4.
+    pub fn new(d_a: u32, d_i: u32) -> Result<Self, TopologyError> {
+        if d_a < 4 || !d_a.is_multiple_of(2) || d_i < 4 || !d_i.is_multiple_of(2) {
+            return Err(TopologyError::InvalidParameter(format!(
+                "VL2 requires even degrees >= 4, got d_a={d_a}, d_i={d_i}"
+            )));
+        }
+        Ok(Vl2 {
+            d_a,
+            d_i,
+            hosts_per_tor: 2,
+            spare_agg_ports: 0,
+        })
+    }
+
+    /// Overrides the number of hosts per ToR (default 2; production VL2
+    /// uses 20).
+    pub fn hosts_per_tor(mut self, hosts: u32) -> Self {
+        self.hosts_per_tor = hosts;
+        self
+    }
+
+    /// Reserves extra ports on each aggregation switch so an F²Tree
+    /// rewiring can add across links without exceeding the port budget.
+    pub fn spare_agg_ports(mut self, spare: u32) -> Self {
+        self.spare_agg_ports = spare;
+        self
+    }
+
+    /// Builds the topology.
+    pub fn build(&self) -> Topology {
+        let intermediates = self.d_a / 2;
+        let aggs_n = self.d_i;
+        let tors_n = self.d_a * self.d_i / 4;
+        let ports = (self.d_a + self.spare_agg_ports)
+            .max(self.d_i)
+            .max(2 + self.hosts_per_tor);
+        let mut topo = Topology::new(format!("vl2-da{}-di{}", self.d_a, self.d_i), Some(ports));
+
+        let pod = PodId::new(0);
+        let ints: Vec<NodeId> = (0..intermediates)
+            .map(|i| topo.add_switch(format!("int-{i}"), Layer::Core, pod, i))
+            .collect();
+        let aggs: Vec<NodeId> = (0..aggs_n)
+            .map(|a| topo.add_switch(format!("agg-{a}"), Layer::Agg, pod, a))
+            .collect();
+        let tors: Vec<NodeId> = (0..tors_n)
+            .map(|t| topo.add_switch(format!("tor-{t}"), Layer::Tor, pod, t))
+            .collect();
+
+        // Complete bipartite agg <-> intermediate.
+        for &agg in &aggs {
+            for &int in &ints {
+                topo.add_link(agg, int, LinkClass::Vertical)
+                    .expect("VL2 wiring fits the port budget");
+            }
+        }
+        // Each ToR dual-homed to aggs (2t, 2t+1) mod aggs_n.
+        for (t, &tor) in tors.iter().enumerate() {
+            let a0 = (2 * t) % aggs_n as usize;
+            let a1 = (2 * t + 1) % aggs_n as usize;
+            topo.add_link(tor, aggs[a0], LinkClass::Vertical)
+                .expect("VL2 wiring fits the port budget");
+            topo.add_link(tor, aggs[a1], LinkClass::Vertical)
+                .expect("VL2 wiring fits the port budget");
+        }
+        for (t, &tor) in tors.iter().enumerate() {
+            for h in 0..self.hosts_per_tor {
+                let host = topo.add_host(format!("host-t{t}-h{h}"));
+                topo.add_link(host, tor, LinkClass::HostAccess)
+                    .expect("VL2 wiring fits the port budget");
+            }
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_follows_vl2_formulas() {
+        let t = Vl2::new(6, 4).unwrap().build();
+        assert_eq!(t.layer_switches(Layer::Core).count(), 3); // d_a/2
+        assert_eq!(t.layer_switches(Layer::Agg).count(), 4); // d_i
+        assert_eq!(t.layer_switches(Layer::Tor).count(), 6); // d_a*d_i/4
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn agg_intermediate_complete_bipartite() {
+        let t = Vl2::new(4, 6).unwrap().build();
+        let ints: Vec<_> = t.layer_switches(Layer::Core).collect();
+        for agg in t.layer_switches(Layer::Agg) {
+            for &int in &ints {
+                assert!(t.link_between(agg, int).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tors_are_dual_homed() {
+        let t = Vl2::new(4, 4).unwrap().build();
+        for tor in t.layer_switches(Layer::Tor) {
+            assert_eq!(t.upward_links(tor).len(), 2);
+        }
+    }
+
+    #[test]
+    fn core_downward_links_have_ecmp_style_backups_but_agg_ones_do_not() {
+        // The property motivating Fig. 7(b): losing one agg->ToR link
+        // leaves the detecting agg with no immediate alternative, while
+        // core->agg links are backed by the dense bipartite interconnect.
+        let t = Vl2::new(4, 4).unwrap().build();
+        for agg in t.layer_switches(Layer::Agg) {
+            assert!(t.across_links(agg).is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_degrees() {
+        assert!(Vl2::new(3, 4).is_err());
+        assert!(Vl2::new(4, 5).is_err());
+        assert!(Vl2::new(2, 4).is_err());
+    }
+}

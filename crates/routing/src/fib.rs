@@ -1,0 +1,405 @@
+//! The forwarding information base: a binary LPM trie with fall-through.
+//!
+//! The F²Tree fast-reroute primitive lives here. A lookup walks matching
+//! prefixes **longest first**; at each prefix it considers entries in
+//! origin-preference order and ECMP-hashes over the next hops whose
+//! out-interface is *locally alive*. If every next hop at a prefix is dead,
+//! the lookup falls through to the next-shorter prefix — which is exactly
+//! how a pre-installed shorter-prefix static backup route takes over the
+//! instant the interface is marked down, with zero control-plane work
+//! (paper §II-B, Table II).
+
+use std::fmt;
+
+use dcn_net::{FlowKey, Ipv4Addr, LinkId, Prefix};
+
+use crate::ecmp::ecmp_select;
+use crate::route::{NextHop, Route, RouteOrigin};
+
+#[derive(Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    routes: Vec<Route>, // sorted by origin preference
+}
+
+/// A per-switch forwarding table.
+///
+/// # Examples
+///
+/// Reproducing Table II's lookup behaviour: with the /24 OSPF route's next
+/// hop dead, the /16 static backup (rightward across neighbor) takes over.
+///
+/// ```
+/// use dcn_net::{FlowKey, Ipv4Addr, LinkId, NodeId, Protocol};
+/// use dcn_routing::{Fib, NextHop, Route, RouteOrigin};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fib = Fib::new(0);
+/// let down = NextHop { node: NodeId::new(0), link: LinkId::new(0) };
+/// let right = NextHop { node: NodeId::new(9), link: LinkId::new(1) };
+/// fib.insert(Route::new("10.11.0.0/24".parse()?, RouteOrigin::Ospf, 1, vec![down]));
+/// fib.insert(Route::new("10.11.0.0/16".parse()?, RouteOrigin::Static, 0, vec![right]));
+///
+/// let flow = FlowKey::new(
+///     Ipv4Addr::new(10, 11, 4, 2), Ipv4Addr::new(10, 11, 0, 2),
+///     9, 9, Protocol::Udp);
+///
+/// // Healthy: the /24 wins.
+/// let hop = fib.lookup(&flow, |_| false).unwrap();
+/// assert_eq!(hop.node, NodeId::new(0));
+/// // Downward interface dead: fall through to the /16 backup.
+/// let hop = fib.lookup(&flow, |l| l == LinkId::new(0)).unwrap();
+/// assert_eq!(hop.node, NodeId::new(9));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Fib {
+    root: TrieNode,
+    salt: u64,
+    route_count: usize,
+}
+
+impl Fib {
+    /// Creates an empty FIB with a per-switch ECMP salt.
+    pub fn new(salt: u64) -> Self {
+        Fib {
+            root: TrieNode::default(),
+            salt,
+            route_count: 0,
+        }
+    }
+
+    /// Number of installed routes (all origins).
+    pub fn len(&self) -> usize {
+        self.route_count
+    }
+
+    /// Whether the FIB holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.route_count == 0
+    }
+
+    fn node_mut(&mut self, prefix: Prefix) -> &mut TrieNode {
+        let bits = prefix.addr().to_u32();
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        node
+    }
+
+    /// Installs a route, replacing any same-prefix route of the same
+    /// origin.
+    pub fn insert(&mut self, route: Route) {
+        let node = self.node_mut(route.prefix);
+        if let Some(existing) = node.routes.iter_mut().find(|r| r.origin == route.origin) {
+            *existing = route;
+        } else {
+            node.routes.push(route);
+            node.routes.sort_by_key(|r| r.origin);
+            self.route_count += 1;
+        }
+    }
+
+    /// Removes the route for `prefix` of the given origin, returning it.
+    pub fn remove(&mut self, prefix: Prefix, origin: RouteOrigin) -> Option<Route> {
+        let node = self.node_mut(prefix);
+        let pos = node.routes.iter().position(|r| r.origin == origin)?;
+        let removed = node.routes.remove(pos);
+        self.route_count -= 1;
+        Some(removed)
+    }
+
+    /// Atomically replaces every route of `origin` with `routes` (the
+    /// FIB-install step that follows an SPF run).
+    pub fn replace_origin(&mut self, origin: RouteOrigin, routes: Vec<Route>) {
+        fn strip(node: &mut TrieNode, origin: RouteOrigin, removed: &mut usize) {
+            let before = node.routes.len();
+            node.routes.retain(|r| r.origin != origin);
+            *removed += before - node.routes.len();
+            for child in node.children.iter_mut().flatten() {
+                strip(child, origin, removed);
+            }
+        }
+        let mut removed = 0;
+        strip(&mut self.root, origin, &mut removed);
+        self.route_count -= removed;
+        for route in routes {
+            debug_assert_eq!(route.origin, origin);
+            self.insert(route);
+        }
+    }
+
+    /// Looks up the forwarding decision for `flow`.
+    ///
+    /// `is_dead` reports whether an out-interface is locally detected down
+    /// (the paper's BFD-like interface state). Matching prefixes are tried
+    /// longest-first; within a prefix, origins in preference order; within
+    /// a route, ECMP over the live next hops.
+    pub fn lookup(&self, flow: &FlowKey, is_dead: impl Fn(LinkId) -> bool) -> Option<NextHop> {
+        self.lookup_addr(flow.dst, flow, &is_dead)
+    }
+
+    fn lookup_addr(
+        &self,
+        dst: Ipv4Addr,
+        flow: &FlowKey,
+        is_dead: &impl Fn(LinkId) -> bool,
+    ) -> Option<NextHop> {
+        // Collect the chain of trie nodes matching dst, root to deepest.
+        let bits = dst.to_u32();
+        let mut chain: Vec<&TrieNode> = Vec::with_capacity(33);
+        let mut node = &self.root;
+        chain.push(node);
+        for depth in 0..32 {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    chain.push(node);
+                }
+                None => break,
+            }
+        }
+        // Longest prefix first; fall through when all next hops are dead.
+        for node in chain.iter().rev() {
+            for route in &node.routes {
+                let live: Vec<&NextHop> = route
+                    .next_hops
+                    .iter()
+                    .filter(|h| !is_dead(h.link))
+                    .collect();
+                if !live.is_empty() {
+                    let idx = ecmp_select(flow, self.salt, live.len());
+                    return Some(*live[idx]);
+                }
+            }
+        }
+        None
+    }
+
+    /// All installed routes, longest prefixes first (for display and
+    /// assertions — Table II style dumps).
+    pub fn routes(&self) -> Vec<Route> {
+        fn collect(node: &TrieNode, out: &mut Vec<Route>) {
+            out.extend(node.routes.iter().cloned());
+            for child in node.children.iter().flatten() {
+                collect(child, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.route_count);
+        collect(&self.root, &mut out);
+        out.sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()).then(a.prefix.cmp(&b.prefix)));
+        out
+    }
+}
+
+impl fmt::Debug for Fib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fib")
+            .field("routes", &self.route_count)
+            .field("salt", &self.salt)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_net::{NodeId, Protocol};
+
+    fn hop(n: u32, l: u32) -> NextHop {
+        NextHop {
+            node: NodeId::new(n),
+            link: LinkId::new(l),
+        }
+    }
+
+    fn flow_to(dst: Ipv4Addr, sport: u16) -> FlowKey {
+        FlowKey::new(Ipv4Addr::new(10, 11, 4, 2), dst, sport, 5001, Protocol::Udp)
+    }
+
+    fn table2_fib() -> Fib {
+        // S8's routing table from Table II of the paper.
+        let mut fib = Fib::new(8);
+        fib.insert(Route::new(
+            "10.11.0.0/24".parse().unwrap(),
+            RouteOrigin::Ospf,
+            1,
+            vec![hop(0, 0)], // S0, downward
+        ));
+        fib.insert(Route::new(
+            "10.11.4.0/24".parse().unwrap(),
+            RouteOrigin::Ospf,
+            2,
+            vec![hop(20, 5), hop(21, 6)], // S20/S21 upward ECMP
+        ));
+        fib.insert(Route::new(
+            "10.11.0.0/16".parse().unwrap(),
+            RouteOrigin::Static,
+            0,
+            vec![hop(9, 1)], // right across neighbor S9
+        ));
+        fib.insert(Route::new(
+            "10.10.0.0/15".parse().unwrap(),
+            RouteOrigin::Static,
+            0,
+            vec![hop(10, 2)], // left across neighbor S10
+        ));
+        fib
+    }
+
+    #[test]
+    fn healthy_lookup_uses_longest_prefix() {
+        let fib = table2_fib();
+        let h = fib
+            .lookup(&flow_to(Ipv4Addr::new(10, 11, 0, 2), 1), |_| false)
+            .unwrap();
+        assert_eq!(h.node, NodeId::new(0));
+    }
+
+    #[test]
+    fn downward_failure_falls_to_right_across_backup() {
+        // Paper: upon detecting S8-S0 down, packets to D go via S9.
+        let fib = table2_fib();
+        let h = fib
+            .lookup(&flow_to(Ipv4Addr::new(10, 11, 0, 2), 1), |l| {
+                l == LinkId::new(0)
+            })
+            .unwrap();
+        assert_eq!(h.node, NodeId::new(9));
+    }
+
+    #[test]
+    fn right_across_also_dead_falls_to_left_backup() {
+        // Paper condition 3: both the downward link and the right across
+        // link are dead -> the shorter /15 via S10 is chosen.
+        let fib = table2_fib();
+        let h = fib
+            .lookup(&flow_to(Ipv4Addr::new(10, 11, 0, 2), 1), |l| {
+                l == LinkId::new(0) || l == LinkId::new(1)
+            })
+            .unwrap();
+        assert_eq!(h.node, NodeId::new(10));
+    }
+
+    #[test]
+    fn everything_dead_returns_none() {
+        let fib = table2_fib();
+        assert!(fib
+            .lookup(&flow_to(Ipv4Addr::new(10, 11, 0, 2), 1), |_| true)
+            .is_none());
+    }
+
+    #[test]
+    fn ecmp_spreads_upward_flows_and_prunes_dead_members() {
+        let fib = table2_fib();
+        let dst = Ipv4Addr::new(10, 11, 4, 9);
+        let mut seen = std::collections::HashSet::new();
+        for sport in 0..200 {
+            seen.insert(fib.lookup(&flow_to(dst, sport), |_| false).unwrap().node);
+        }
+        assert_eq!(seen.len(), 2, "both ECMP members used");
+        // Kill one member: every flow lands on the survivor without
+        // falling through to the backups (ECMP local repair).
+        for sport in 0..200 {
+            let h = fib
+                .lookup(&flow_to(dst, sport), |l| l == LinkId::new(5))
+                .unwrap();
+            assert_eq!(h.node, NodeId::new(21));
+        }
+    }
+
+    #[test]
+    fn static_backups_do_not_shadow_longer_ospf_routes() {
+        // The backup routes have shorter prefixes, so they never win while
+        // an OSPF route's next hop is alive (paper §II-B).
+        let fib = table2_fib();
+        for sport in 0..50 {
+            let h = fib
+                .lookup(&flow_to(Ipv4Addr::new(10, 11, 0, 2), sport), |_| false)
+                .unwrap();
+            assert_eq!(h.node, NodeId::new(0));
+        }
+    }
+
+    #[test]
+    fn replace_origin_swaps_ospf_routes_only() {
+        let mut fib = table2_fib();
+        assert_eq!(fib.len(), 4);
+        fib.replace_origin(
+            RouteOrigin::Ospf,
+            vec![Route::new(
+                "10.11.0.0/24".parse().unwrap(),
+                RouteOrigin::Ospf,
+                3,
+                vec![hop(9, 1)],
+            )],
+        );
+        assert_eq!(fib.len(), 3); // 1 OSPF + 2 static
+        let h = fib
+            .lookup(&flow_to(Ipv4Addr::new(10, 11, 0, 2), 1), |_| false)
+            .unwrap();
+        assert_eq!(h.node, NodeId::new(9));
+        // Statics survived.
+        let routes = fib.routes();
+        assert!(routes.iter().any(|r| r.origin == RouteOrigin::Static
+            && r.prefix.to_string() == "10.10.0.0/15"));
+    }
+
+    #[test]
+    fn insert_same_prefix_same_origin_replaces() {
+        let mut fib = Fib::new(0);
+        let p: Prefix = "10.11.0.0/24".parse().unwrap();
+        fib.insert(Route::new(p, RouteOrigin::Ospf, 1, vec![hop(1, 1)]));
+        fib.insert(Route::new(p, RouteOrigin::Ospf, 2, vec![hop(2, 2)]));
+        assert_eq!(fib.len(), 1);
+        let f = flow_to(Ipv4Addr::new(10, 11, 0, 9), 1);
+        assert_eq!(fib.lookup(&f, |_| false).unwrap().node, NodeId::new(2));
+    }
+
+    #[test]
+    fn connected_beats_static_beats_ospf_at_equal_prefix() {
+        let mut fib = Fib::new(0);
+        let p: Prefix = "10.11.0.0/24".parse().unwrap();
+        fib.insert(Route::new(p, RouteOrigin::Ospf, 1, vec![hop(3, 3)]));
+        fib.insert(Route::new(p, RouteOrigin::Connected, 0, vec![hop(1, 1)]));
+        fib.insert(Route::new(p, RouteOrigin::Static, 0, vec![hop(2, 2)]));
+        let f = flow_to(Ipv4Addr::new(10, 11, 0, 9), 1);
+        assert_eq!(fib.lookup(&f, |_| false).unwrap().node, NodeId::new(1));
+        // Connected hop dead -> static takes over at the same prefix.
+        let h = fib.lookup(&f, |l| l == LinkId::new(1)).unwrap();
+        assert_eq!(h.node, NodeId::new(2));
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_origin() {
+        let mut fib = table2_fib();
+        let p: Prefix = "10.11.0.0/16".parse().unwrap();
+        let removed = fib.remove(p, RouteOrigin::Static).unwrap();
+        assert_eq!(removed.next_hops, vec![hop(9, 1)]);
+        assert!(fib.remove(p, RouteOrigin::Static).is_none());
+        assert_eq!(fib.len(), 3);
+    }
+
+    #[test]
+    fn routes_dump_orders_longest_first() {
+        let fib = table2_fib();
+        let lens: Vec<u8> = fib.routes().iter().map(|r| r.prefix.len()).collect();
+        assert_eq!(lens, vec![24, 24, 16, 15]);
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut fib = Fib::new(0);
+        fib.insert(Route::new(
+            Prefix::DEFAULT,
+            RouteOrigin::Static,
+            0,
+            vec![hop(1, 1)],
+        ));
+        let f = flow_to(Ipv4Addr::new(203, 0, 113, 5), 1);
+        assert_eq!(fib.lookup(&f, |_| false).unwrap().node, NodeId::new(1));
+    }
+}

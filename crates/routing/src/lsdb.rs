@@ -1,0 +1,151 @@
+//! Link-state advertisements and the link-state database.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dcn_net::{LinkId, NodeId, Prefix};
+
+/// One adjacency reported in an LSA (unit cost, per the paper's
+/// "each link is assumed to have the same cost").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Adjacency {
+    /// The neighboring switch.
+    pub neighbor: NodeId,
+    /// The link used to reach it (multigraph-aware).
+    pub link: LinkId,
+}
+
+/// A router link-state advertisement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lsa {
+    /// The advertising switch.
+    pub origin: NodeId,
+    /// Monotonic freshness sequence number.
+    pub seq: u64,
+    /// The origin's live adjacencies at origination time.
+    pub neighbors: Vec<Adjacency>,
+    /// Prefixes redistributed by the origin (ToRs advertise their rack
+    /// subnet; other switches advertise nothing).
+    pub prefixes: Vec<Prefix>,
+}
+
+/// The per-router link-state database.
+#[derive(Clone, Default)]
+pub struct Lsdb {
+    lsas: HashMap<NodeId, Lsa>,
+}
+
+impl Lsdb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Lsdb::default()
+    }
+
+    /// Installs `lsa` if it is newer than what is stored; returns whether
+    /// it was installed (and should be re-flooded).
+    pub fn install(&mut self, lsa: Lsa) -> bool {
+        match self.lsas.get(&lsa.origin) {
+            Some(existing) if existing.seq >= lsa.seq => false,
+            _ => {
+                self.lsas.insert(lsa.origin, lsa);
+                true
+            }
+        }
+    }
+
+    /// The stored LSA for `origin`, if any.
+    pub fn get(&self, origin: NodeId) -> Option<&Lsa> {
+        self.lsas.get(&origin)
+    }
+
+    /// Iterates over all stored LSAs.
+    pub fn iter(&self) -> impl Iterator<Item = &Lsa> {
+        self.lsas.values()
+    }
+
+    /// Number of stored LSAs.
+    pub fn len(&self) -> usize {
+        self.lsas.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lsas.is_empty()
+    }
+
+    /// Whether the (directed) adjacency `from → to` over `link` is
+    /// advertised by **both** endpoints — OSPF's two-way check, which
+    /// prevents SPF from routing over half-dead links.
+    pub fn two_way(&self, from: NodeId, to: NodeId, link: LinkId) -> bool {
+        let fwd = self.get(from).is_some_and(|l| {
+            l.neighbors
+                .iter()
+                .any(|a| a.neighbor == to && a.link == link)
+        });
+        let rev = self.get(to).is_some_and(|l| {
+            l.neighbors
+                .iter()
+                .any(|a| a.neighbor == from && a.link == link)
+        });
+        fwd && rev
+    }
+}
+
+impl fmt::Debug for Lsdb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lsdb").field("lsas", &self.lsas.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(n: u32, l: u32) -> Adjacency {
+        Adjacency {
+            neighbor: NodeId::new(n),
+            link: LinkId::new(l),
+        }
+    }
+
+    fn lsa(origin: u32, seq: u64, neighbors: Vec<Adjacency>) -> Lsa {
+        Lsa {
+            origin: NodeId::new(origin),
+            seq,
+            neighbors,
+            prefixes: vec![],
+        }
+    }
+
+    #[test]
+    fn install_accepts_only_newer() {
+        let mut db = Lsdb::new();
+        assert!(db.install(lsa(1, 1, vec![adj(2, 0)])));
+        assert!(!db.install(lsa(1, 1, vec![])));
+        assert!(!db.install(lsa(1, 0, vec![])));
+        assert!(db.install(lsa(1, 2, vec![])));
+        assert_eq!(db.get(NodeId::new(1)).unwrap().seq, 2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn two_way_check_requires_both_directions() {
+        let mut db = Lsdb::new();
+        db.install(lsa(1, 1, vec![adj(2, 7)]));
+        assert!(!db.two_way(NodeId::new(1), NodeId::new(2), LinkId::new(7)));
+        db.install(lsa(2, 1, vec![adj(1, 7)]));
+        assert!(db.two_way(NodeId::new(1), NodeId::new(2), LinkId::new(7)));
+        // A newer LSA from 2 that drops the adjacency breaks two-way.
+        db.install(lsa(2, 2, vec![]));
+        assert!(!db.two_way(NodeId::new(1), NodeId::new(2), LinkId::new(7)));
+    }
+
+    #[test]
+    fn two_way_distinguishes_parallel_links() {
+        let mut db = Lsdb::new();
+        db.install(lsa(1, 1, vec![adj(2, 7), adj(2, 8)]));
+        db.install(lsa(2, 1, vec![adj(1, 7)]));
+        assert!(db.two_way(NodeId::new(1), NodeId::new(2), LinkId::new(7)));
+        assert!(!db.two_way(NodeId::new(1), NodeId::new(2), LinkId::new(8)));
+    }
+}

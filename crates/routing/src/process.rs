@@ -1,0 +1,655 @@
+//! The per-switch router process: control plane + forwarding state.
+//!
+//! [`RouterProcess`] is a pure state machine — every input (detected link
+//! change, received LSA, timer expiry) returns a list of [`RouterAction`]s
+//! for the caller (the emulator) to realize. This keeps the whole protocol
+//! unit-testable without an event loop, and mirrors how the paper's
+//! recovery time decomposes:
+//!
+//! 1. *detection* (60 ms, modelled by the emulator's detection delay) →
+//!    [`RouterProcess::on_link_detected`],
+//! 2. *LSA flooding* (per-hop propagation + processing) →
+//!    [`RouterAction::FloodLsa`] / [`RouterProcess::on_lsa`],
+//! 3. *SPF throttle* (200 ms initial, exponential backoff) →
+//!    [`RouterAction::ScheduleSpf`] / [`RouterProcess::on_spf_timer`],
+//! 4. *FIB update* (10 ms) → [`RouterAction::InstallRoutes`] /
+//!    [`RouterProcess::on_install`].
+//!
+//! F²Tree's fast reroute never touches steps 2–4: the moment step 1 marks
+//! the interface dead, [`RouterProcess::forward`] falls through to the
+//! pre-installed static backup routes.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use dcn_net::{FlowKey, LinkId, NodeId, Prefix};
+use dcn_sim::{SimDuration, SimTime};
+
+use crate::fib::Fib;
+use crate::lsdb::{Adjacency, Lsa, Lsdb};
+use crate::route::{NextHop, Route, RouteOrigin};
+use crate::spf::compute_routes;
+use crate::throttle::{SpfThrottle, ThrottleConfig};
+
+/// Router timer configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// SPF throttle parameters.
+    pub throttle: ThrottleConfig,
+    /// Delay between an SPF run and the new routes landing in the FIB
+    /// (the paper measures ~10 ms on the testbed).
+    pub fib_update_delay: SimDuration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            throttle: ThrottleConfig::default(),
+            fib_update_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// An action the router asks the emulator to perform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouterAction {
+    /// Flood an LSA out of every live interface (except the one it
+    /// arrived on, if any).
+    FloodLsa {
+        /// The advertisement to flood.
+        lsa: Lsa,
+        /// Interface to skip (split-horizon on the arrival interface).
+        except: Option<LinkId>,
+    },
+    /// Schedule [`RouterProcess::on_spf_timer`] at the given instant.
+    ScheduleSpf {
+        /// When the SPF run should execute.
+        at: SimTime,
+    },
+    /// Schedule [`RouterProcess::on_install`] at the given instant.
+    InstallRoutes {
+        /// When the FIB install completes.
+        at: SimTime,
+        /// Monotonic generation so stale installs are ignored.
+        generation: u64,
+        /// The OSPF route set to install.
+        routes: Vec<Route>,
+    },
+}
+
+/// The per-switch routing state machine.
+pub struct RouterProcess {
+    node: NodeId,
+    config: RouterConfig,
+    /// All physical switch-to-switch interfaces (hosts excluded — hosts do
+    /// not run the routing protocol).
+    interfaces: Vec<Adjacency>,
+    /// OSPF-passive interfaces: not advertised in LSAs and not used for
+    /// flooding. F²Tree across links are passive — they carry only the
+    /// static backup routes, so they never perturb baseline shortest
+    /// paths ("backup routes are not used in forwarding unless failures
+    /// happen", §II-D).
+    passive: HashSet<LinkId>,
+    /// Locally detected dead interfaces (BFD-style).
+    dead: HashSet<LinkId>,
+    fib: Fib,
+    lsdb: Lsdb,
+    throttle: SpfThrottle,
+    seq: u64,
+    install_gen: u64,
+    installed_gen: u64,
+    my_prefixes: Vec<Prefix>,
+}
+
+impl RouterProcess {
+    /// Creates a router for `node` with the given interfaces and locally
+    /// originated prefixes (a ToR's rack subnet).
+    pub fn new(
+        node: NodeId,
+        config: RouterConfig,
+        interfaces: Vec<Adjacency>,
+        my_prefixes: Vec<Prefix>,
+    ) -> Self {
+        RouterProcess {
+            node,
+            config,
+            interfaces,
+            passive: HashSet::new(),
+            dead: HashSet::new(),
+            fib: Fib::new(node.as_u32() as u64),
+            lsdb: Lsdb::new(),
+            throttle: SpfThrottle::new(config.throttle),
+            seq: 0,
+            install_gen: 0,
+            installed_gen: 0,
+            my_prefixes,
+        }
+    }
+
+    /// The switch this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Read access to the FIB (Table II style dumps in tests).
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    /// Read access to the LSDB.
+    pub fn lsdb(&self) -> &Lsdb {
+        &self.lsdb
+    }
+
+    /// Read access to the SPF throttle (hold-time observability).
+    pub fn throttle(&self) -> &SpfThrottle {
+        &self.throttle
+    }
+
+    /// Marks interfaces as OSPF-passive (call before [`Self::bootstrap`]).
+    pub fn set_passive(&mut self, links: impl IntoIterator<Item = LinkId>) {
+        self.passive.extend(links);
+    }
+
+    /// Whether `link` is locally marked dead.
+    pub fn is_dead(&self, link: LinkId) -> bool {
+        self.dead.contains(&link)
+    }
+
+    /// Whether `link` is OSPF-passive.
+    pub fn is_passive(&self, link: LinkId) -> bool {
+        self.passive.contains(&link)
+    }
+
+    /// Live non-passive interfaces (for flooding).
+    pub fn live_interfaces(&self) -> impl Iterator<Item = &Adjacency> {
+        self.interfaces
+            .iter()
+            .filter(|a| !self.dead.contains(&a.link) && !self.passive.contains(&a.link))
+    }
+
+    // ------------------------------------------------------------------
+    // Bootstrap (warm start)
+    // ------------------------------------------------------------------
+
+    /// Installs a connected or static route directly (startup
+    /// configuration; F²Tree's backup routes use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route's origin is [`RouteOrigin::Ospf`] — OSPF routes
+    /// only enter the FIB through the SPF/install pipeline.
+    pub fn install_permanent(&mut self, route: Route) {
+        assert_ne!(
+            route.origin,
+            RouteOrigin::Ospf,
+            "OSPF routes must go through SPF"
+        );
+        self.fib.insert(route);
+    }
+
+    /// The router's own LSA at the current sequence number.
+    pub fn originate_lsa(&mut self) -> Lsa {
+        self.seq += 1;
+        let lsa = Lsa {
+            origin: self.node,
+            seq: self.seq,
+            neighbors: self
+                .interfaces
+                .iter()
+                .filter(|a| !self.dead.contains(&a.link) && !self.passive.contains(&a.link))
+                .copied()
+                .collect(),
+            prefixes: self.my_prefixes.clone(),
+        };
+        self.lsdb.install(lsa.clone());
+        lsa
+    }
+
+    /// Warm start: installs a pre-converged LSDB and computes the initial
+    /// OSPF routes synchronously, as if the protocol had long converged
+    /// before the experiment begins.
+    pub fn bootstrap(&mut self, lsas: impl IntoIterator<Item = Lsa>) {
+        for lsa in lsas {
+            self.lsdb.install(lsa);
+        }
+        let routes = compute_routes(&self.lsdb, self.node);
+        self.fib.replace_origin(RouteOrigin::Ospf, routes);
+    }
+
+    // ------------------------------------------------------------------
+    // Runtime inputs
+    // ------------------------------------------------------------------
+
+    /// A local interface changed state (called by the emulator one
+    /// detection delay after the physical change).
+    pub fn on_link_detected(&mut self, now: SimTime, link: LinkId, up: bool) -> Vec<RouterAction> {
+        let changed = if up {
+            self.dead.remove(&link)
+        } else {
+            self.dead.insert(link)
+        };
+        if !changed {
+            return Vec::new();
+        }
+        if self.passive.contains(&link) {
+            // Passive interfaces are invisible to OSPF: the dead-set
+            // update (which drives fast-reroute fall-through) is all that
+            // happens.
+            return Vec::new();
+        }
+        let lsa = self.originate_lsa();
+        let mut actions = vec![RouterAction::FloodLsa { lsa, except: None }];
+        if let Some(at) = self.throttle.on_trigger(now) {
+            actions.push(RouterAction::ScheduleSpf { at });
+        }
+        actions
+    }
+
+    /// An LSA arrived on `arrived_on`.
+    pub fn on_lsa(&mut self, now: SimTime, lsa: Lsa, arrived_on: LinkId) -> Vec<RouterAction> {
+        if lsa.origin == self.node {
+            // Our own LSA echoed back; our copy is always as fresh.
+            return Vec::new();
+        }
+        if !self.lsdb.install(lsa.clone()) {
+            return Vec::new(); // stale duplicate — do not re-flood
+        }
+        let mut actions = vec![RouterAction::FloodLsa {
+            lsa,
+            except: Some(arrived_on),
+        }];
+        if let Some(at) = self.throttle.on_trigger(now) {
+            actions.push(RouterAction::ScheduleSpf { at });
+        }
+        actions
+    }
+
+    /// The scheduled SPF timer fired.
+    pub fn on_spf_timer(&mut self, now: SimTime) -> Vec<RouterAction> {
+        self.throttle.on_run(now);
+        let routes = compute_routes(&self.lsdb, self.node);
+        self.install_gen += 1;
+        vec![RouterAction::InstallRoutes {
+            at: now + self.config.fib_update_delay,
+            generation: self.install_gen,
+            routes,
+        }]
+    }
+
+    /// Installs a route set pushed by a central controller, bypassing the
+    /// distributed SPF/generation pipeline (paper §V, centralized
+    /// routing DCNs).
+    pub fn force_install(&mut self, routes: Vec<Route>) {
+        self.install_gen += 1;
+        self.installed_gen = self.install_gen;
+        self.fib.replace_origin(RouteOrigin::Ospf, routes);
+    }
+
+    /// The scheduled FIB install completed.
+    pub fn on_install(&mut self, generation: u64, routes: Vec<Route>) {
+        if generation <= self.installed_gen {
+            return; // superseded by a newer SPF run
+        }
+        self.installed_gen = generation;
+        self.fib.replace_origin(RouteOrigin::Ospf, routes);
+    }
+
+    /// Data-plane forwarding decision for a packet (FIB lookup with
+    /// locally dead interfaces pruned — the fast-reroute primitive).
+    pub fn forward(&self, flow: &FlowKey) -> Option<NextHop> {
+        self.fib.lookup(flow, |link| self.dead.contains(&link))
+    }
+}
+
+impl fmt::Debug for RouterProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RouterProcess")
+            .field("node", &self.node)
+            .field("interfaces", &self.interfaces.len())
+            .field("dead", &self.dead.len())
+            .field("fib_routes", &self.fib.len())
+            .field("lsdb", &self.lsdb.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_net::Ipv4Addr;
+    use dcn_net::Protocol;
+
+    fn adj(n: u32, l: u32) -> Adjacency {
+        Adjacency {
+            neighbor: NodeId::new(n),
+            link: LinkId::new(l),
+        }
+    }
+
+    /// A 4-node diamond: r0 -(0)- r1 -(2)- r3, r0 -(1)- r2 -(3)- r3.
+    /// r3 advertises 10.11.0.0/24.
+    fn diamond() -> Vec<RouterProcess> {
+        let cfg = RouterConfig::default();
+        let mut routers = vec![
+            RouterProcess::new(NodeId::new(0), cfg, vec![adj(1, 0), adj(2, 1)], vec![]),
+            RouterProcess::new(NodeId::new(1), cfg, vec![adj(0, 0), adj(3, 2)], vec![]),
+            RouterProcess::new(NodeId::new(2), cfg, vec![adj(0, 1), adj(3, 3)], vec![]),
+            RouterProcess::new(
+                NodeId::new(3),
+                cfg,
+                vec![adj(1, 2), adj(2, 3)],
+                vec!["10.11.0.0/24".parse().unwrap()],
+            ),
+        ];
+        let lsas: Vec<Lsa> = routers.iter_mut().map(|r| r.originate_lsa()).collect();
+        for r in &mut routers {
+            r.bootstrap(lsas.clone());
+        }
+        routers
+    }
+
+    fn flow() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 12, 0, 1),
+            Ipv4Addr::new(10, 11, 0, 2),
+            1,
+            2,
+            Protocol::Udp,
+        )
+    }
+
+    #[test]
+    fn bootstrap_gives_working_forwarding() {
+        let routers = diamond();
+        let hop = routers[0].forward(&flow()).unwrap();
+        assert!(hop.node == NodeId::new(1) || hop.node == NodeId::new(2));
+    }
+
+    #[test]
+    fn detection_floods_and_schedules_spf() {
+        let mut routers = diamond();
+        let now = SimTime::ZERO + SimDuration::from_millis(440);
+        let actions = routers[1].on_link_detected(now, LinkId::new(2), false);
+        assert_eq!(actions.len(), 2);
+        let RouterAction::FloodLsa { lsa, except } = &actions[0] else {
+            panic!("expected flood, got {actions:?}");
+        };
+        assert_eq!(*except, None);
+        assert_eq!(lsa.origin, NodeId::new(1));
+        assert!(lsa.neighbors.iter().all(|a| a.link != LinkId::new(2)));
+        let RouterAction::ScheduleSpf { at } = &actions[1] else {
+            panic!("expected spf schedule");
+        };
+        assert_eq!((*at - now).as_millis(), 200);
+    }
+
+    #[test]
+    fn duplicate_detection_is_idempotent() {
+        let mut routers = diamond();
+        let now = SimTime::ZERO;
+        let first = routers[1].on_link_detected(now, LinkId::new(2), false);
+        assert!(!first.is_empty());
+        let second = routers[1].on_link_detected(now, LinkId::new(2), false);
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn lsa_reflood_happens_once() {
+        let mut routers = diamond();
+        let now = SimTime::ZERO;
+        let lsa = Lsa {
+            origin: NodeId::new(9),
+            seq: 5,
+            neighbors: vec![],
+            prefixes: vec![],
+        };
+        let a1 = routers[0].on_lsa(now, lsa.clone(), LinkId::new(0));
+        assert!(matches!(
+            a1.first(),
+            Some(RouterAction::FloodLsa {
+                except: Some(l),
+                ..
+            }) if *l == LinkId::new(0)
+        ));
+        // The same LSA arriving on the other interface is a stale dup.
+        let a2 = routers[0].on_lsa(now, lsa, LinkId::new(1));
+        assert!(a2.is_empty());
+    }
+
+    #[test]
+    fn full_convergence_pipeline_removes_failed_path() {
+        let mut routers = diamond();
+        let t0 = SimTime::ZERO + SimDuration::from_millis(440);
+
+        // r1 detects its link to r3 dead, floods, schedules SPF.
+        let actions = routers[1].on_link_detected(t0, LinkId::new(2), false);
+        let lsa = match &actions[0] {
+            RouterAction::FloodLsa { lsa, .. } => lsa.clone(),
+            _ => unreachable!(),
+        };
+        // r0 receives the LSA and schedules its own SPF.
+        let a0 = routers[0].on_lsa(t0, lsa, LinkId::new(0));
+        let spf_at = a0
+            .iter()
+            .find_map(|a| match a {
+                RouterAction::ScheduleSpf { at } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        // SPF runs, then the FIB install lands 10ms later.
+        let actions = routers[0].on_spf_timer(spf_at);
+        let (at, generation, routes) = match &actions[0] {
+            RouterAction::InstallRoutes {
+                at,
+                generation,
+                routes,
+            } => (*at, *generation, routes.clone()),
+            _ => unreachable!(),
+        };
+        assert_eq!((at - spf_at).as_millis(), 10);
+        routers[0].on_install(generation, routes);
+
+        // Now r0 must route exclusively via r2.
+        for sport in 0..20 {
+            let mut f = flow();
+            f.src_port = sport;
+            assert_eq!(routers[0].forward(&f).unwrap().node, NodeId::new(2));
+        }
+    }
+
+    #[test]
+    fn stale_install_generation_is_ignored() {
+        let mut routers = diamond();
+        let t0 = SimTime::ZERO;
+        // Two SPF cycles produce generations 1 and 2.
+        routers[0].on_link_detected(t0, LinkId::new(0), false);
+        let spf1 = routers[0].on_spf_timer(t0 + SimDuration::from_millis(200));
+        routers[0].on_link_detected(t0 + SimDuration::from_millis(300), LinkId::new(0), true);
+        let spf2 = routers[0].on_spf_timer(t0 + SimDuration::from_millis(600));
+        let (g1, r1) = match &spf1[0] {
+            RouterAction::InstallRoutes {
+                generation, routes, ..
+            } => (*generation, routes.clone()),
+            _ => unreachable!(),
+        };
+        let (g2, r2) = match &spf2[0] {
+            RouterAction::InstallRoutes {
+                generation, routes, ..
+            } => (*generation, routes.clone()),
+            _ => unreachable!(),
+        };
+        // Newer install lands first; the stale one must not clobber it.
+        routers[0].on_install(g2, r2);
+        let hops_after_g2 = routers[0].forward(&flow()).map(|h| h.node);
+        routers[0].on_install(g1, r1);
+        assert_eq!(routers[0].forward(&flow()).map(|h| h.node), hops_after_g2);
+    }
+
+    #[test]
+    fn static_backup_enables_fast_reroute_without_control_plane() {
+        let mut routers = diamond();
+        // Configure r1 with an F2Tree-style backup: DCN prefix via r0.
+        routers[1].install_permanent(Route::new(
+            "10.11.0.0/16".parse().unwrap(),
+            RouteOrigin::Static,
+            0,
+            vec![NextHop {
+                node: NodeId::new(0),
+                link: LinkId::new(0),
+            }],
+        ));
+        // r1 normally forwards to r3 directly.
+        assert_eq!(routers[1].forward(&flow()).unwrap().node, NodeId::new(3));
+        // Detection marks the interface dead; the very next lookup falls
+        // through to the backup — no SPF, no FIB install.
+        routers[1].on_link_detected(SimTime::ZERO, LinkId::new(2), false);
+        assert_eq!(routers[1].forward(&flow()).unwrap().node, NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must go through SPF")]
+    fn install_permanent_rejects_ospf_routes() {
+        let mut routers = diamond();
+        routers[0].install_permanent(Route::new(
+            "10.11.0.0/24".parse().unwrap(),
+            RouteOrigin::Ospf,
+            1,
+            vec![],
+        ));
+    }
+
+    #[test]
+    fn recovery_restores_the_link() {
+        let mut routers = diamond();
+        let t0 = SimTime::ZERO;
+        routers[1].on_link_detected(t0, LinkId::new(2), false);
+        assert!(routers[1].is_dead(LinkId::new(2)));
+        let actions = routers[1].on_link_detected(t0 + SimDuration::from_secs(5), LinkId::new(2), true);
+        assert!(!routers[1].is_dead(LinkId::new(2)));
+        // Re-origination includes the link again.
+        let RouterAction::FloodLsa { lsa, .. } = &actions[0] else {
+            panic!();
+        };
+        assert!(lsa.neighbors.iter().any(|a| a.link == LinkId::new(2)));
+    }
+}
+
+#[cfg(test)]
+mod passive_tests {
+    use super::*;
+    use dcn_net::Ipv4Addr;
+    use dcn_net::Protocol;
+
+    fn adj(n: u32, l: u32) -> Adjacency {
+        Adjacency {
+            neighbor: NodeId::new(n),
+            link: LinkId::new(l),
+        }
+    }
+
+    /// Two routers joined by a normal link (0) and a passive across link
+    /// (1); router 1 advertises a prefix.
+    fn pair() -> Vec<RouterProcess> {
+        let cfg = RouterConfig::default();
+        let mut routers = vec![
+            RouterProcess::new(NodeId::new(0), cfg, vec![adj(1, 0), adj(1, 1)], vec![]),
+            RouterProcess::new(
+                NodeId::new(1),
+                cfg,
+                vec![adj(0, 0), adj(0, 1)],
+                vec!["10.11.0.0/24".parse().unwrap()],
+            ),
+        ];
+        for r in &mut routers {
+            r.set_passive([LinkId::new(1)]);
+        }
+        let lsas: Vec<Lsa> = routers.iter_mut().map(|r| r.originate_lsa()).collect();
+        for r in &mut routers {
+            r.bootstrap(lsas.clone());
+        }
+        routers
+    }
+
+    #[test]
+    fn passive_links_never_appear_in_lsas() {
+        let mut routers = pair();
+        let lsa = routers[0].originate_lsa();
+        assert_eq!(lsa.neighbors.len(), 1);
+        assert_eq!(lsa.neighbors[0].link, LinkId::new(0));
+        assert!(routers[0].is_passive(LinkId::new(1)));
+        assert!(!routers[0].is_passive(LinkId::new(0)));
+    }
+
+    #[test]
+    fn passive_link_state_changes_stay_local() {
+        let mut routers = pair();
+        // Passive link fails: dead set updates, but no flood and no SPF.
+        let actions = routers[0].on_link_detected(SimTime::ZERO, LinkId::new(1), false);
+        assert!(actions.is_empty());
+        assert!(routers[0].is_dead(LinkId::new(1)));
+        // Normal link fails: the full pipeline triggers.
+        let actions = routers[0].on_link_detected(SimTime::ZERO, LinkId::new(0), false);
+        assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn spf_never_routes_over_passive_links() {
+        let routers = pair();
+        // OSPF route to 10.11.0.0/24 must use link 0 only, even though
+        // the passive link 1 reaches the same neighbor.
+        let flow = FlowKey::new(
+            Ipv4Addr::new(10, 12, 0, 1),
+            Ipv4Addr::new(10, 11, 0, 9),
+            1,
+            2,
+            Protocol::Udp,
+        );
+        let hop = routers[0].forward(&flow).unwrap();
+        assert_eq!(hop.link, LinkId::new(0));
+    }
+
+    #[test]
+    fn static_backup_over_passive_link_still_fast_reroutes() {
+        let mut routers = pair();
+        routers[0].install_permanent(Route::new(
+            "10.11.0.0/16".parse().unwrap(),
+            RouteOrigin::Static,
+            0,
+            vec![NextHop {
+                node: NodeId::new(1),
+                link: LinkId::new(1),
+            }],
+        ));
+        // Kill the normal link: lookup falls through to the passive
+        // across link's static backup with no control-plane involvement.
+        routers[0].on_link_detected(SimTime::ZERO, LinkId::new(0), false);
+        let flow = FlowKey::new(
+            Ipv4Addr::new(10, 12, 0, 1),
+            Ipv4Addr::new(10, 11, 0, 9),
+            1,
+            2,
+            Protocol::Udp,
+        );
+        let hop = routers[0].forward(&flow).unwrap();
+        assert_eq!(hop.link, LinkId::new(1));
+    }
+
+    #[test]
+    fn centralized_force_install_replaces_ospf_routes() {
+        let mut routers = pair();
+        routers[0].force_install(vec![Route::new(
+            "10.11.0.0/24".parse().unwrap(),
+            RouteOrigin::Ospf,
+            9,
+            vec![NextHop {
+                node: NodeId::new(1),
+                link: LinkId::new(0),
+            }],
+        )]);
+        let routes = routers[0].fib().routes();
+        let ospf: Vec<_> = routes.iter().filter(|r| r.origin == RouteOrigin::Ospf).collect();
+        assert_eq!(ospf.len(), 1);
+        assert_eq!(ospf[0].metric, 9);
+    }
+}

@@ -1,0 +1,87 @@
+//! The generic packet carried through the simulated network.
+//!
+//! The payload type is generic: the emulator instantiates it with a union
+//! of transport segments and routing-protocol messages, keeping this crate
+//! free of higher-layer dependencies.
+
+use dcn_net::FlowKey;
+
+use crate::time::SimTime;
+
+/// Default IP TTL. Condition 4 of §II-C (the C7 scenario) relies on TTL
+/// expiry to kill packets ping-ponging between two switches whose backup
+/// routes point at each other.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// A packet in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Packet<P> {
+    /// Unique packet id (per simulation), useful for tracing.
+    pub id: u64,
+    /// The five-tuple (also the ECMP hash input).
+    pub flow: FlowKey,
+    /// Bytes on the wire, headers included.
+    pub size: u32,
+    /// Remaining time-to-live in hops.
+    pub ttl: u8,
+    /// The instant the original sender emitted the packet (for end-to-end
+    /// delay measurement).
+    pub sent_at: SimTime,
+    /// Higher-layer payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Creates a packet with the default TTL.
+    pub fn new(id: u64, flow: FlowKey, size: u32, sent_at: SimTime, payload: P) -> Self {
+        Packet {
+            id,
+            flow,
+            size,
+            ttl: DEFAULT_TTL,
+            sent_at,
+            payload,
+        }
+    }
+
+    /// Decrements the TTL for one switch hop; returns `false` when the
+    /// packet must be dropped (TTL exhausted).
+    pub fn hop(&mut self) -> bool {
+        if self.ttl <= 1 {
+            self.ttl = 0;
+            false
+        } else {
+            self.ttl -= 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_net::{Ipv4Addr, Protocol};
+
+    fn key() -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::new(10, 11, 0, 2),
+            Ipv4Addr::new(10, 11, 1, 2),
+            1000,
+            2000,
+            Protocol::Udp,
+        )
+    }
+
+    #[test]
+    fn hop_decrements_until_exhausted() {
+        let mut p = Packet::new(1, key(), 1500, SimTime::ZERO, ());
+        assert_eq!(p.ttl, DEFAULT_TTL);
+        for _ in 0..DEFAULT_TTL - 1 {
+            assert!(p.hop());
+        }
+        assert_eq!(p.ttl, 1);
+        assert!(!p.hop());
+        assert_eq!(p.ttl, 0);
+        assert!(!p.hop());
+    }
+}

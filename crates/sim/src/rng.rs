@@ -1,0 +1,235 @@
+//! Deterministic random numbers for simulations.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the two
+//! distributions the paper's workloads need — log-normal (flow sizes,
+//! inter-arrivals, failure processes, all per [1]/[25]) and exponential —
+//! implemented via Box–Muller so no extra distribution crate is required.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a log-normal distribution on the *log* scale.
+///
+/// If `X ~ LogNormal(mu, sigma)` then `ln X ~ Normal(mu, sigma)`. The
+/// helper [`LogNormal::from_mean_sigma`] converts a desired linear-scale
+/// mean instead, which is how the experiment configs are written.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution from log-scale parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates the distribution from a desired *linear-scale* mean and a
+    /// log-scale sigma: `mu = ln(mean) − sigma²/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn from_mean_sigma(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    /// The linear-scale mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// A deterministic, seedable random source.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_sim::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.gen_u64(), b.gen_u64()); // same seed, same stream
+/// ```
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator for a named sub-stream, so adding
+    /// draws to one component never perturbs another.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix64-style mixing of (seed, stream).
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// A uniform `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be nonzero");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// A Bernoulli draw with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A standard normal via Box–Muller.
+    pub fn gen_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A log-normal draw.
+    pub fn gen_lognormal(&mut self, dist: LogNormal) -> f64 {
+        (dist.mu + dist.sigma * self.gen_normal()).exp()
+    }
+
+    /// An exponential draw with the given rate (events per unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn gen_exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// Chooses a uniformly random element of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_index(items.len())]
+    }
+}
+
+impl fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimRng").field("seed", &self.seed).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent = SimRng::new(7);
+        let mut f1 = parent.fork(1);
+        let mut parent2 = SimRng::new(7);
+        let _ = parent2.gen_u64(); // consuming the parent...
+        let mut f1_again = parent2.fork(1);
+        // ...does not change what the fork produces.
+        assert_eq!(f1.gen_u64(), f1_again.gen_u64());
+        // And distinct streams differ.
+        let mut f2 = parent.fork(2);
+        assert_ne!(f1.gen_u64(), f2.gen_u64());
+    }
+
+    #[test]
+    fn lognormal_mean_matches_parameterization() {
+        let dist = LogNormal::from_mean_sigma(100_000.0, 1.0);
+        assert!((dist.mean() - 100_000.0).abs() < 1e-6);
+        let mut rng = SimRng::new(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_lognormal(dist)).sum();
+        let sample_mean = sum / n as f64;
+        // Loose band: log-normal has heavy tails.
+        assert!(
+            (sample_mean / 100_000.0 - 1.0).abs() < 0.1,
+            "sample mean {sample_mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::new(43);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_exponential(0.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = SimRng::new(44);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gen_index_stays_in_bounds() {
+        let mut rng = SimRng::new(45);
+        for _ in 0..1000 {
+            assert!(rng.gen_index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be nonzero")]
+    fn gen_index_zero_panics() {
+        SimRng::new(1).gen_index(0);
+    }
+}

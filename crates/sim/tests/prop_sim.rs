@@ -1,0 +1,83 @@
+//! Property-based tests for the event queue and link model.
+
+use dcn_sim::{Direction, EventQueue, LinkSpec, LinkState, SimDuration, SimTime, TransmitVerdict};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pops come out in non-decreasing time order regardless of the
+    /// scheduling order, and ties preserve insertion order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(lt <= t);
+                if lt == t {
+                    prop_assert!(li < i, "ties pop in insertion order");
+                }
+            }
+            last = Some((t, i));
+        }
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// Deliveries over one link direction never reorder: arrival times are
+    /// strictly increasing for back-to-back packets.
+    #[test]
+    fn link_preserves_fifo_order(sizes in prop::collection::vec(64u32..1500, 1..100)) {
+        let spec = LinkSpec::PAPER_EMULATION;
+        let mut state = LinkState::new();
+        let mut last_arrival = None;
+        for &size in &sizes {
+            if let TransmitVerdict::Deliver { arrival } =
+                state.transmit(&spec, Direction::AToB, SimTime::ZERO, size)
+            {
+                if let Some(prev) = last_arrival {
+                    prop_assert!(arrival > prev, "FIFO violated");
+                }
+                last_arrival = Some(arrival);
+            }
+        }
+    }
+
+    /// The queue bound holds: the backlog never admits more bytes than
+    /// the configured capacity (within one packet of slack).
+    #[test]
+    fn link_backlog_is_bounded(sizes in prop::collection::vec(64u32..1500, 1..500)) {
+        let spec = LinkSpec::PAPER_EMULATION;
+        let mut state = LinkState::new();
+        let mut last_arrival = SimTime::ZERO;
+        for &size in &sizes {
+            if let TransmitVerdict::Deliver { arrival } =
+                state.transmit(&spec, Direction::AToB, SimTime::ZERO, size)
+            {
+                last_arrival = arrival;
+            }
+        }
+        // Everything delivered must drain within capacity/bandwidth (plus
+        // one serialization and the propagation delay).
+        let max_drain = SimDuration::from_nanos(
+            spec.queue_capacity_bytes * 8 * 1_000_000_000 / spec.bandwidth_bps,
+        ) + spec.tx_time(1500) + spec.propagation;
+        prop_assert!(
+            last_arrival <= SimTime::ZERO + max_drain,
+            "arrival {last_arrival} exceeds drain bound {max_drain}"
+        );
+    }
+
+    /// Durations round-trip through fractional seconds within 1ns/unit
+    /// precision.
+    #[test]
+    fn duration_secs_f64_roundtrip(ns in 0u64..10_000_000_000_000) {
+        let d = SimDuration::from_nanos(ns);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        let err = back.as_nanos().abs_diff(ns);
+        // f64 has 52 bits of mantissa; allow proportional slack.
+        prop_assert!(err <= 1 + ns / (1 << 50), "err {err} on {ns}");
+    }
+}

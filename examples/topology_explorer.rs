@@ -1,0 +1,38 @@
+//! Topology explorer: Table I scalability plus the structural
+//! immediate-backup-link analysis of Sec. II-A, across port counts.
+//!
+//! Run with `cargo run --example topology_explorer`.
+
+use dcn_net::{FatTree, Layer};
+use f2tree::{layer_backup_summary, F2TreeNetwork};
+use f2tree_experiments::table1::{f2tree_node_deficit, format_table1, run_table1};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for n in [8u32, 48, 128] {
+        println!("{}", format_table1(n, &run_table1(n)));
+        println!(
+            "F2Tree node deficit vs fat tree at N={n}: {:.2}%\n",
+            f2tree_node_deficit(n) * 100.0
+        );
+    }
+
+    println!("immediate backup links (min over layer), Sec. II-A:");
+    println!("k  | design   | agg upward | agg downward");
+    println!("---+----------+------------+-------------");
+    for k in [4u32, 8, 16] {
+        let fat = FatTree::new(k)?.build();
+        let s = layer_backup_summary(&fat, Layer::Agg);
+        println!(
+            "{:<2} | fat tree | {:>10} | {:>12}",
+            k, s.upward_min, s.downward_min
+        );
+        let f2 = F2TreeNetwork::build(k)?;
+        let s = layer_backup_summary(&f2.topology, Layer::Agg);
+        println!(
+            "{:<2} | F2Tree   | {:>10} | {:>12}",
+            k, s.upward_min, s.downward_min
+        );
+    }
+    println!("\n(the paper: N/2-1 and 0 for fat tree; N/2 and 2 for F2Tree)");
+    Ok(())
+}
