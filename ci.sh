@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# The full verification gate, exactly as CI runs it. Any nonzero exit fails.
+#
+#   ./ci.sh
+#
+# 1. release build of every workspace member (warnings from the
+#    [workspace.lints] table are part of the build),
+# 2. the whole test suite (unit + integration + property + doc tests),
+# 3. the in-tree static-analysis pass (determinism / panic-safety /
+#    timer-constant rules; see DESIGN.md §7 and crates/xtask/).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -q --release -p xtask -- lint
+
+echo "ci.sh: all gates passed"

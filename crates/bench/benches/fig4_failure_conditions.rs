@@ -1,7 +1,7 @@
 //! Bench: regenerating Fig. 4 (the C1-C7 condition sweep at k=8).
 //!
 //! The one-time artifact print sweeps all cells in parallel with
-//! crossbeam; the benchmark itself times representative cells.
+//! `std::thread::scope`; the benchmark itself times representative cells.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcn_failure::Condition;
@@ -18,17 +18,16 @@ fn bench(c: &mut Criterion) {
         }
         cells.push((Design::F2Tree, condition));
     }
-    let mut results: Vec<_> = crossbeam::thread::scope(|scope| {
+    let mut results: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = cells
             .iter()
             .map(|&(design, condition)| {
                 let cfg = &cfg;
-                scope.spawn(move |_| run_condition(design, condition, cfg))
+                scope.spawn(move || run_condition(design, condition, cfg))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     results.sort_by(|a, b| a.condition.cmp(&b.condition));
     println!("{}", format_fig4(&results));
 

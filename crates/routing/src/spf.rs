@@ -4,8 +4,8 @@
 //! full equal-cost next-hop sets: when two paths to a node tie, the
 //! first-hop sets are unioned. All links have unit cost (paper footnote 4).
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use dcn_net::NodeId;
 
@@ -49,9 +49,13 @@ pub struct Reached {
 }
 
 /// Runs ECMP Dijkstra from `root` over the two-way-checked adjacency.
-pub fn shortest_paths(lsdb: &Lsdb, root: NodeId) -> HashMap<NodeId, Reached> {
-    let mut dist: HashMap<NodeId, u32> = HashMap::new();
-    let mut hops: HashMap<NodeId, Vec<NextHop>> = HashMap::new();
+///
+/// The maps are `BTreeMap`s on purpose: route computation feeds FIB
+/// installation order, and hash-iteration order would leak host-process
+/// randomness into the simulated trace.
+pub fn shortest_paths(lsdb: &Lsdb, root: NodeId) -> BTreeMap<NodeId, Reached> {
+    let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut hops: BTreeMap<NodeId, Vec<NextHop>> = BTreeMap::new();
     let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
 
     dist.insert(root, 0);
@@ -76,7 +80,11 @@ pub fn shortest_paths(lsdb: &Lsdb, root: NodeId) -> HashMap<NodeId, Reached> {
                     link: adj.link,
                 }]
             } else {
-                hops[&u].clone()
+                // `u` came off the heap with a settled distance, so its
+                // first-hop set is always present; an empty set (never
+                // inserted) would only mean an unreachable node, which
+                // cannot be popped.
+                hops.get(&u).cloned().unwrap_or_default()
             };
             match dist.get(&v).copied() {
                 Some(existing) if existing < nd => {}

@@ -8,7 +8,7 @@
 //! this is what produces the ~9 s completion-time tail the paper observes
 //! in Fig. 6(b) under 5 concurrent failures.
 
-use dcn_sim::{SimDuration, SimTime};
+use dcn_sim::{timers, SimDuration, SimTime};
 
 /// Throttle configuration.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -23,8 +23,8 @@ pub struct ThrottleConfig {
 impl Default for ThrottleConfig {
     fn default() -> Self {
         ThrottleConfig {
-            initial_delay: SimDuration::from_millis(200),
-            max_hold: SimDuration::from_secs(10),
+            initial_delay: timers::SPF_INITIAL_DELAY,
+            max_hold: timers::SPF_MAX_HOLD,
         }
     }
 }

@@ -40,9 +40,10 @@ mod packet;
 mod queue;
 mod rng;
 mod time;
+pub mod timers;
 
 pub use link::{Direction, LinkSpec, LinkState, TransmitVerdict};
 pub use packet::{Packet, DEFAULT_TTL};
 pub use queue::EventQueue;
-pub use rng::{LogNormal, SimRng};
+pub use rng::{DetRng, LogNormal, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -1,14 +1,75 @@
 //! Deterministic random numbers for simulations.
 //!
-//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the two
+//! [`SimRng`] wraps [`DetRng`] — a self-contained, seeded xoshiro256++
+//! generator with **no external dependencies** — and adds the two
 //! distributions the paper's workloads need — log-normal (flow sizes,
 //! inter-arrivals, failure processes, all per [1]/[25]) and exponential —
 //! implemented via Box–Muller so no extra distribution crate is required.
+//!
+//! The generator is hand-rolled rather than pulled from the `rand` crate on
+//! purpose: the paper's recovery-time figures are only reproducible if every
+//! byte of randomness is pinned by the seed, independent of crate versions,
+//! platforms, or `rand`'s internal algorithm choices. `cargo run -p xtask --
+//! lint` statically bans `rand::thread_rng` and friends in the simulation
+//! crates; this module is the one sanctioned entropy source.
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A bare deterministic generator: xoshiro256++ seeded via SplitMix64.
+///
+/// The output stream is a pure function of the 64-bit seed — stable across
+/// platforms, compilers, and releases of this workspace. Prefer [`SimRng`]
+/// in simulation code; `DetRng` is the engine underneath it.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Expands a 64-bit seed into the 256-bit state with SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        DetRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next uniform `u64` (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire multiply-shift (unbiased
+    /// enough for simulation workloads and branch-free).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)` from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Parameters of a log-normal distribution on the *log* scale.
 ///
@@ -61,7 +122,7 @@ impl LogNormal {
 /// assert_eq!(a.gen_u64(), b.gen_u64()); // same seed, same stream
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    inner: DetRng,
     seed: u64,
 }
 
@@ -69,7 +130,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: DetRng::seed_from_u64(seed),
             seed,
         }
     }
@@ -94,7 +155,7 @@ impl SimRng {
 
     /// A uniform `u64`.
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.inner.next_u64()
     }
 
     /// A uniform value in `[0, bound)`.
@@ -104,24 +165,24 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn gen_index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "gen_index bound must be nonzero");
-        self.inner.gen_range(0..bound)
+        self.inner.next_below(bound as u64) as usize
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen()
+        self.inner.next_f64()
     }
 
     /// A Bernoulli draw with probability `p`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.inner.next_f64() < p.clamp(0.0, 1.0)
     }
 
     /// A standard normal via Box–Muller.
     pub fn gen_normal(&mut self) -> f64 {
         // Avoid ln(0) by sampling u1 from (0, 1].
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = 1.0 - self.inner.next_f64();
+        let u2: f64 = self.inner.next_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -137,7 +198,7 @@ impl SimRng {
     /// Panics if `rate` is not positive.
     pub fn gen_exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive");
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.inner.next_f64();
         -u.ln() / rate
     }
 

@@ -464,17 +464,18 @@ impl TcpSender {
 
     fn sample_rtt(&mut self, rtt: SimDuration) {
         let r = rtt.as_secs_f64();
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(r);
                 self.rttvar = r / 2.0;
+                r
             }
-            Some(srtt) => {
-                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
-                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            Some(prev) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (prev - r).abs();
+                0.875 * prev + 0.125 * r
             }
-        }
-        let rto = self.srtt.unwrap() + 4.0 * self.rttvar;
+        };
+        self.srtt = Some(srtt);
+        let rto = srtt + 4.0 * self.rttvar;
         self.rto_base = SimDuration::from_secs_f64(rto)
             .max(self.config.min_rto)
             .min(self.config.max_rto);

@@ -1,0 +1,360 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! This is not a full Rust grammar — it only needs to be good enough to
+//! (a) never mistake comment or string contents for code, (b) attach line
+//! numbers to tokens, and (c) surface `// lint:allow(rule)` waiver
+//! comments. It handles line/block comments (nested), string literals,
+//! raw strings with arbitrary `#` fencing, byte strings, char literals
+//! vs. lifetimes, and numeric literals with separators and suffixes.
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub line: u32,
+    pub kind: TokenKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value, raw spelling). Value is `None` when the
+    /// literal overflows u64 or uses an exotic base we do not fold.
+    Int(Option<u64>, String),
+    /// Any single punctuation character (`.`), `::` is two `:` tokens.
+    Punct(char),
+    /// A string/char literal (contents dropped — only position matters).
+    Literal,
+}
+
+/// A `// lint:allow(rule-a, rule-b)` waiver found in a comment.
+///
+/// A waiver suppresses matching diagnostics on its own line and on the
+/// next source line, so it works both as a trailing comment and as a
+/// stand-alone comment above the offending line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waiver {
+    pub line: u32,
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: the token stream plus any waivers seen in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub waivers: Vec<Waiver>,
+}
+
+/// Scans `source` into tokens and waivers.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                scan_waiver(&comment, line, &mut out.waivers);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let comment_line = line;
+                let mut depth = 1usize;
+                let start = i + 2;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let comment: String = chars[start..end].iter().collect();
+                scan_waiver(&comment, comment_line, &mut out.waivers);
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                i = skip_raw_or_byte_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                let after = chars.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if n == '_' || n.is_alphabetic())
+                    && after != Some('\'');
+                if is_lifetime {
+                    i += 1; // consume the quote; the ident lexes next round
+                } else {
+                    i = skip_char_literal(&chars, i, &mut line);
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // Stop a range expression `0..10` from being eaten.
+                    if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let raw: String = chars[start..i].iter().collect();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Int(parse_int(&raw), raw),
+                });
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(ident),
+                });
+            }
+            p => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(p),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Records a waiver if `comment` contains `lint:allow(...)`.
+fn scan_waiver(comment: &str, line: u32, waivers: &mut Vec<Waiver>) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        waivers.push(Waiver { line, rules });
+    }
+}
+
+/// Folds a decimal/hex/octal/binary literal, tolerating `_` separators and
+/// type suffixes. Float-looking literals fold to `None`.
+fn parse_int(raw: &str) -> Option<u64> {
+    if raw.contains('.') {
+        return None;
+    }
+    let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(hex) = cleaned.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(oct) = cleaned.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = cleaned.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (cleaned.as_str(), 10)
+    };
+    // Strip a trailing type suffix (u8, i64, usize, f64, ...).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    // r"  r#"  br"  b"  b'  (byte char handled as char literal)
+    match chars[i] {
+        'r' => matches!(chars.get(i + 1), Some('"') | Some('#')),
+        'b' => match chars.get(i + 1) {
+            Some('"') => true,
+            Some('r') => matches!(chars.get(i + 2), Some('"') | Some('#')),
+            Some('\'') => true,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    // Consume the prefix letters.
+    while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'\'') {
+        return skip_char_literal(chars, i, line);
+    }
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // not actually a string; resynchronize
+    }
+    i += 1;
+    'outer: while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+        }
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            for _ in 0..hashes {
+                if chars.get(j) != Some(&'#') {
+                    i += 1;
+                    continue 'outer;
+                }
+                j += 1;
+            }
+            return j;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_literal(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    let mut steps = 0;
+    while i < chars.len() && steps < 16 {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+        steps += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw string"#;
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_skipped() {
+        let ids = idents("let c = 'x'; let q = '\\''; let n = '\\n'; after");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn waivers_are_collected() {
+        let lexed = lex("let x = m.unwrap(); // lint:allow(panic-safety, determinism)\n");
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].line, 1);
+        assert_eq!(lexed.waivers[0].rules, vec!["panic-safety", "determinism"]);
+    }
+
+    #[test]
+    fn int_literals_fold() {
+        let lexed = lex("f(200); g(0x3c_u64); h(1_000);");
+        let ints: Vec<Option<u64>> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Int(v, _) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![Some(200), Some(0x3c), Some(1000)]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

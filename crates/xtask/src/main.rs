@@ -1,0 +1,188 @@
+//! `xtask` — workspace automation, run as `cargo run -p xtask -- <command>`.
+//!
+//! The only command today is `lint`: a dependency-free static-analysis
+//! pass over every `.rs` file in the workspace enforcing the determinism,
+//! panic-safety and timer-constant policies described in DESIGN.md. See
+//! the `rules` module for what each rule matches, and
+//! `crates/xtask/lint-allow.toml` for the ratcheting budget of
+//! pre-existing violations.
+//!
+//! Exit codes: 0 clean, 1 lint violations, 2 usage or I/O error.
+
+mod allowlist;
+mod lexer;
+mod rules;
+mod walk;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use allowlist::Allowlist;
+use rules::{RuleSet, RULE_DETERMINISM, RULE_PANIC_SAFETY, RULE_TIMER_CONSTANTS};
+
+const ALLOWLIST_REL: &str = "crates/xtask/lint-allow.toml";
+
+/// Crates whose *library* code must be bit-for-bit deterministic: the
+/// simulator's figures are only credible if identical seeds replay
+/// identical traces.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/sim/src",
+    "crates/routing/src",
+    "crates/emu/src",
+    "crates/core/src",
+];
+
+/// The only files allowed to define protocol timer constants:
+/// `dcn_sim::timers` holds the paper's measured timer values (the lowest
+/// layer, so routing/emu defaults can reference them), and
+/// `crates/core/src/config.rs` is the top-level experiment configuration.
+const TIMER_CONFIG_FILES: &[&str] = &["crates/sim/src/timers.rs", "crates/core/src/config.rs"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("lint") => {
+            let mut update_allowlist = false;
+            for arg in it {
+                match arg {
+                    "--update-allowlist" => update_allowlist = true,
+                    other => {
+                        eprintln!("unknown lint option: {other}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            match run_lint(update_allowlist) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(err) => {
+                    eprintln!("xtask lint: {err}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--update-allowlist]";
+
+/// Workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> Result<PathBuf, String> {
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").map_err(|_| "CARGO_MANIFEST_DIR not set".to_string())?;
+    Path::new(&manifest)
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".to_string())
+}
+
+fn rule_set_for(rel_path: &str) -> RuleSet {
+    let in_determinism_scope = DETERMINISM_SCOPE.iter().any(|s| rel_path.starts_with(s));
+    RuleSet {
+        determinism: in_determinism_scope,
+        panic_safety: true,
+        timer_constants: in_determinism_scope && !TIMER_CONFIG_FILES.contains(&rel_path),
+    }
+}
+
+fn run_lint(update_allowlist: bool) -> Result<bool, String> {
+    let root = workspace_root()?;
+    let allowlist_path = root.join(ALLOWLIST_REL);
+    let allowlist = if allowlist_path.exists() {
+        let text = std::fs::read_to_string(&allowlist_path)
+            .map_err(|e| format!("reading {ALLOWLIST_REL}: {e}"))?;
+        Allowlist::parse(&text).map_err(|e| format!("{ALLOWLIST_REL}: {e}"))?
+    } else {
+        Allowlist::default()
+    };
+
+    let files = walk::workspace_rs_files(&root)?;
+    let mut clean = true;
+    let mut checked = 0usize;
+    let mut totals: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    let mut observed = Allowlist::default();
+    let mut under_budget: Vec<(String, String, usize, usize)> = Vec::new();
+
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .map_err(|_| "file outside root".to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rules = rule_set_for(&rel);
+        let source = std::fs::read_to_string(file).map_err(|e| format!("reading {rel}: {e}"))?;
+        let lexed = lexer::lex(&source);
+        let violations = rules::check(&lexed, rules);
+        checked += 1;
+
+        // Group per rule so the allowlist budget applies per (rule, file).
+        for rule in [RULE_DETERMINISM, RULE_PANIC_SAFETY, RULE_TIMER_CONSTANTS] {
+            let of_rule: Vec<_> = violations.iter().filter(|v| v.rule == rule).collect();
+            if of_rule.is_empty() {
+                continue;
+            }
+            *totals.entry(rule).or_default() += of_rule.len();
+            observed
+                .budgets
+                .entry(rule.to_string())
+                .or_default()
+                .insert(rel.clone(), of_rule.len());
+            let budget = allowlist.budget(rule, &rel);
+            if of_rule.len() > budget {
+                clean = false;
+                for v in &of_rule {
+                    println!("{rel}:{}: [{rule}] {}", v.line, v.message);
+                }
+                if budget > 0 {
+                    println!(
+                        "{rel}: [{rule}] {} violation(s) exceed the allowlisted budget of {budget}",
+                        of_rule.len()
+                    );
+                }
+            } else if of_rule.len() < budget {
+                under_budget.push((rule.to_string(), rel.clone(), of_rule.len(), budget));
+            }
+        }
+    }
+
+    if update_allowlist {
+        std::fs::write(&allowlist_path, observed.render())
+            .map_err(|e| format!("writing {ALLOWLIST_REL}: {e}"))?;
+        println!("wrote {ALLOWLIST_REL} with current counts");
+        return Ok(true);
+    }
+
+    for (rule, file, actual, budget) in &under_budget {
+        println!(
+            "note: {file} is under its [{rule}] budget ({actual} < {budget}) — \
+             ratchet the allowlist down"
+        );
+    }
+
+    let determinism = totals.get(RULE_DETERMINISM).copied().unwrap_or(0);
+    let panics = totals.get(RULE_PANIC_SAFETY).copied().unwrap_or(0);
+    let timers = totals.get(RULE_TIMER_CONSTANTS).copied().unwrap_or(0);
+    println!(
+        "xtask lint: {checked} files; {determinism} determinism / {panics} panic-safety / \
+         {timers} timer-constant finding(s); budgets: {} panic-safety, {} timer-constants",
+        allowlist.total(RULE_PANIC_SAFETY),
+        allowlist.total(RULE_TIMER_CONSTANTS),
+    );
+    if clean {
+        println!("xtask lint: OK");
+    } else {
+        println!("xtask lint: FAILED (fix the code, add an inline `// lint:allow(<rule>)` waiver with justification, or — for pre-existing debt only — raise no budgets, ratchet them down)");
+    }
+    Ok(clean)
+}

@@ -1,0 +1,361 @@
+//! The lint rules: determinism, panic-safety, timer-constants.
+//!
+//! Rules run over the token stream from [`crate::lexer`]. Test code —
+//! `#[cfg(test)]` items, `#[test]`/`#[bench]` functions — is exempt from
+//! every rule: tests may use wall clocks, hash maps as reference oracles,
+//! and `unwrap()` freely.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Rule identifiers, used in diagnostics, waiver comments and the
+/// allowlist file.
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_PANIC_SAFETY: &str = "panic-safety";
+pub const RULE_TIMER_CONSTANTS: &str = "timer-constants";
+
+/// One diagnostic before allowlist filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Which rule families apply to a file (decided from its path).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// Ban hash collections, ambient RNGs and wall clocks.
+    pub determinism: bool,
+    /// Flag `unwrap()` / `expect()` / `panic!` in library code.
+    pub panic_safety: bool,
+    /// Flag hard-coded `from_millis`/`from_secs` timer literals.
+    pub timer_constants: bool,
+}
+
+/// Runs every enabled rule over the lexed file and returns the surviving
+/// violations (inline waivers already applied).
+pub fn check(lexed: &Lexed, rules: RuleSet) -> Vec<Violation> {
+    let test_lines = test_line_spans(&lexed.tokens);
+    let in_test = |line: u32| test_lines.iter().any(|&(lo, hi)| line >= lo && line <= hi);
+
+    let mut violations = Vec::new();
+    let toks = &lexed.tokens;
+
+    for (i, tok) in toks.iter().enumerate() {
+        if in_test(tok.line) {
+            continue;
+        }
+        match &tok.kind {
+            TokenKind::Ident(name) => {
+                if rules.determinism {
+                    determinism_at(toks, i, name, &mut violations);
+                }
+                if rules.panic_safety {
+                    panic_safety_at(toks, i, name, &mut violations);
+                }
+                if rules.timer_constants {
+                    timer_constants_at(toks, i, name, &mut violations);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    violations.retain(|v| {
+        !lexed.waivers.iter().any(|w| {
+            (w.line == v.line || w.line + 1 == v.line)
+                && w.rules.iter().any(|r| r == v.rule || r == "all")
+        })
+    });
+    violations
+}
+
+fn ident_at<'t>(toks: &'t [Token], i: usize) -> Option<&'t str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, p: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokenKind::Punct(c)) if *c == p)
+}
+
+fn determinism_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violation>) {
+    let line = toks[i].line;
+    match name {
+        "HashMap" | "HashSet" => {
+            // `BTreeMap` ordering is part of the simulator's determinism
+            // contract; hash iteration order is seeded per-process.
+            let replacement = if name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+            out.push(Violation {
+                line,
+                rule: RULE_DETERMINISM,
+                message: format!(
+                    "`{name}` has nondeterministic iteration order; use `{replacement}` \
+                     (or index by dense ids) in simulation crates"
+                ),
+            });
+        }
+        "thread_rng" | "random" if name == "thread_rng" || is_rand_path(toks, i) => {
+            out.push(Violation {
+                line,
+                rule: RULE_DETERMINISM,
+                message: format!(
+                    "`{name}` draws from ambient OS entropy; use a seeded \
+                     `dcn_sim::SimRng`/`DetRng` stream instead"
+                ),
+            });
+        }
+        "Instant" | "SystemTime" if punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':')
+            && ident_at(toks, i + 3) == Some("now") =>
+        {
+            out.push(Violation {
+                line,
+                rule: RULE_DETERMINISM,
+                message: format!(
+                    "`{name}::now()` reads the wall clock; simulation time must come \
+                     from `SimTime`/the event queue"
+                ),
+            });
+        }
+        _ => {}
+    }
+}
+
+/// `rand::random`, `rand::thread_rng` style paths.
+fn is_rand_path(toks: &[Token], i: usize) -> bool {
+    i >= 3
+        && punct_at(toks, i - 1, ':')
+        && punct_at(toks, i - 2, ':')
+        && ident_at(toks, i - 3) == Some("rand")
+}
+
+fn panic_safety_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violation>) {
+    let line = toks[i].line;
+    match name {
+        "unwrap" | "expect"
+            if punct_at(toks, i.wrapping_sub(1), '.') && punct_at(toks, i + 1, '(') =>
+        {
+            out.push(Violation {
+                line,
+                rule: RULE_PANIC_SAFETY,
+                message: format!(
+                    "`.{name}()` can panic in library code; return a typed error, or \
+                     waive with `// lint:allow(panic-safety)` stating the invariant"
+                ),
+            });
+        }
+        "panic" | "unimplemented" | "todo" if punct_at(toks, i + 1, '!') => {
+            out.push(Violation {
+                line,
+                rule: RULE_PANIC_SAFETY,
+                message: format!("`{name}!` in library code; return a typed error instead"),
+            });
+        }
+        _ => {}
+    }
+}
+
+fn timer_constants_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violation>) {
+    let line = toks[i].line;
+    // `from_millis(200)` / `from_secs(60)` with a literal argument: protocol
+    // timer values must flow from `dcn_sim::timers` (or the top-level
+    // `f2tree::config`) so the paper's recovery-time budget stays auditable
+    // in one place. Sub-millisecond construction (`from_nanos`/`from_micros`)
+    // is packet-level arithmetic, not a timer.
+    if name != "from_millis" && name != "from_secs" {
+        return;
+    }
+    if !punct_at(toks, i + 1, '(') {
+        return;
+    }
+    if let Some(TokenKind::Int(value, raw)) = toks.get(i + 2).map(|t| &t.kind) {
+        if punct_at(toks, i + 3, ')') {
+            let shown = value.map_or_else(|| raw.clone(), |v| v.to_string());
+            out.push(Violation {
+                line,
+                rule: RULE_TIMER_CONSTANTS,
+                message: format!(
+                    "hard-coded timer `{name}({shown})`; use a named constant from \
+                     `dcn_sim::timers` (crates/sim/src/timers.rs)"
+                ),
+            });
+        }
+    }
+}
+
+/// Line spans of `#[cfg(test)]` / `#[test]` / `#[bench]` items.
+///
+/// Strategy: on seeing one of those attributes, find the start of the item
+/// body — the first `{` at attribute depth — and return the span up to its
+/// matching `}`. Attributes on brace-less items (`#[cfg(test)] use ...;`)
+/// span to the terminating `;` instead.
+fn test_line_spans(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attribute(toks, i) {
+            let start_line = toks[i].line;
+            let mut j = i;
+            let mut depth = 0i64;
+            let mut end_line = start_line;
+            // Walk forward to the item body.
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokenKind::Punct('{') => {
+                        depth += 1;
+                    }
+                    TokenKind::Punct('}') => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            end_line = toks[j].line;
+                            break;
+                        }
+                    }
+                    TokenKind::Punct(';') if depth == 0 => {
+                        end_line = toks[j].line;
+                        break;
+                    }
+                    _ => {}
+                }
+                end_line = toks[j].line;
+                j += 1;
+            }
+            spans.push((start_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Matches `#[cfg(test)]`, `#[cfg(any(test, ...))]`, `#[test]`, `#[bench]`
+/// starting at token `i` (`#`).
+fn is_test_attribute(toks: &[Token], i: usize) -> bool {
+    if !punct_at(toks, i, '#') || !punct_at(toks, i + 1, '[') {
+        return false;
+    }
+    match ident_at(toks, i + 2) {
+        Some("test") | Some("bench") => punct_at(toks, i + 3, ']'),
+        Some("cfg") => {
+            // Scan the attribute's token window for the ident `test`.
+            let mut j = i + 3;
+            let mut depth = 0i64;
+            while let Some(tok) = toks.get(j) {
+                match &tok.kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(')') => depth -= 1,
+                    TokenKind::Punct(']') if depth == 0 => return false,
+                    TokenKind::Ident(s) if s == "test" => return true,
+                    _ => {}
+                }
+                if depth < 0 {
+                    return false;
+                }
+                j += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const ALL: RuleSet = RuleSet {
+        determinism: true,
+        panic_safety: true,
+        timer_constants: true,
+    };
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        check(&lex(src), ALL).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_is_flagged() {
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;"),
+            vec![RULE_DETERMINISM]
+        );
+        assert!(rules_hit("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_thread_rng_are_flagged() {
+        assert_eq!(rules_hit("let t = Instant::now();"), vec![RULE_DETERMINISM]);
+        assert_eq!(
+            rules_hit("let t = SystemTime::now();"),
+            vec![RULE_DETERMINISM]
+        );
+        assert_eq!(
+            rules_hit("let mut r = rand::thread_rng();"),
+            vec![RULE_DETERMINISM]
+        );
+        // `Instant` without `::now` (e.g. stored as a field type) is fine.
+        assert!(rules_hit("fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn panic_family_is_flagged() {
+        assert_eq!(rules_hit("let x = o.unwrap();"), vec![RULE_PANIC_SAFETY]);
+        assert_eq!(
+            rules_hit("let x = o.expect(\"msg\");"),
+            vec![RULE_PANIC_SAFETY]
+        );
+        assert_eq!(rules_hit("panic!(\"boom\");"), vec![RULE_PANIC_SAFETY]);
+        // unwrap_or / unwrap_or_else are fine.
+        assert!(rules_hit("let x = o.unwrap_or(0);").is_empty());
+        assert!(rules_hit("let x = o.unwrap_or_else(f);").is_empty());
+    }
+
+    #[test]
+    fn timer_literals_are_flagged() {
+        assert_eq!(
+            rules_hit("let d = SimDuration::from_millis(200);"),
+            vec![RULE_TIMER_CONSTANTS]
+        );
+        assert_eq!(
+            rules_hit("let d = Duration::from_secs(60);"),
+            vec![RULE_TIMER_CONSTANTS]
+        );
+        // Values that flow from config are fine.
+        assert!(rules_hit("let d = SimDuration::from_millis(cfg.spf_delay_ms);").is_empty());
+        // Packet-scale arithmetic is fine.
+        assert!(rules_hit("let d = SimDuration::from_nanos(1200);").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            fn lib_code(o: Option<u32>) -> u32 { o.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() {
+                    let m: HashMap<u32, u32> = HashMap::new();
+                    m.get(&1).unwrap();
+                }
+            }
+        "#;
+        let hits = rules_hit(src);
+        assert_eq!(hits, vec![RULE_PANIC_SAFETY], "only the lib unwrap: {hits:?}");
+    }
+
+    #[test]
+    fn waivers_suppress_same_and_next_line() {
+        let src = "// lint:allow(panic-safety)\nlet x = o.unwrap();\n";
+        assert!(rules_hit(src).is_empty());
+        let src2 = "let x = o.unwrap(); // lint:allow(panic-safety)\n";
+        assert!(rules_hit(src2).is_empty());
+        // Wrong rule name does not suppress.
+        let src3 = "let x = o.unwrap(); // lint:allow(determinism)\n";
+        assert_eq!(rules_hit(src3), vec![RULE_PANIC_SAFETY]);
+    }
+}

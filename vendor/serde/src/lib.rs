@@ -1,0 +1,16 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (which expand to
+//! nothing — see `vendor/serde_derive`) plus empty traits of the same names
+//! in the type namespace, so both `#[derive(Serialize)]` and
+//! `T: serde::Serialize` bounds resolve. The workspace only *derives* these
+//! traits today; no code serializes through them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::Serialize`. The no-op derive emits no impls, so this
+/// exists only to satisfy `use`/bound syntax, not to be implemented.
+pub trait Serialize {}
+
+/// Mirror of `serde::Deserialize`. See [`Serialize`].
+pub trait Deserialize {}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `serde_derive` cannot be fetched. Nothing in this workspace actually
+//! serializes anything yet — the `#[derive(Serialize, Deserialize)]`
+//! annotations only declare intent — so these derives accept the same syntax
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+//! If real serialization is ever needed, swap the `serde` workspace
+//! dependency back to the registry crate; no source changes are required.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
