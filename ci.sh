@@ -7,7 +7,9 @@
 #    [workspace.lints] table are part of the build),
 # 2. the whole test suite (unit + integration + property + doc tests),
 # 3. the in-tree static-analysis pass (determinism / panic-safety /
-#    timer-constant rules; see DESIGN.md §7 and crates/xtask/).
+#    timer-constant rules; see DESIGN.md §7 and crates/xtask/),
+# 4. a parallel sweep smoke test: the Fig. 7 grid through the sweep
+#    engine on 2 workers (exercises the worker pool end to end).
 set -eu
 
 cd "$(dirname "$0")"
@@ -20,5 +22,8 @@ cargo test -q
 
 echo "==> cargo run -p xtask -- lint"
 cargo run -q --release -p xtask -- lint
+
+echo "==> repro fig7 --workers 2 (sweep engine smoke test)"
+cargo run -q --release -p f2tree-experiments --bin repro -- fig7 --workers 2
 
 echo "ci.sh: all gates passed"

@@ -1,35 +1,40 @@
 //! Bench: regenerating Fig. 4 (the C1-C7 condition sweep at k=8).
 //!
-//! The one-time artifact print sweeps all cells in parallel with
-//! `std::thread::scope`; the benchmark itself times representative cells.
+//! The one-time artifact print runs the full sweep through the
+//! deterministic sweep engine on all cores; the benchmarks time the same
+//! sweep serial-vs-parallel (identical output, different wall-clock) and
+//! representative single cells.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcn_failure::Condition;
-use f2tree_experiments::conditions::{format_fig4, run_condition, ConditionConfig};
+use dcn_sweep::Workers;
+use f2tree_experiments::conditions::{
+    format_fig4, run_condition, run_fig4_sweep, ConditionConfig,
+};
 use f2tree_experiments::Design;
 
 fn bench(c: &mut Criterion) {
     let cfg = ConditionConfig::default();
     // Regenerate the full figure once, cells in parallel.
-    let mut cells: Vec<(Design, Condition)> = Vec::new();
-    for condition in Condition::ALL {
-        if !condition.requires_across_links() {
-            cells.push((Design::FatTree, condition));
-        }
-        cells.push((Design::F2Tree, condition));
-    }
-    let mut results: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .iter()
-            .map(|&(design, condition)| {
-                let cfg = &cfg;
-                scope.spawn(move || run_condition(design, condition, cfg))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    results.sort_by(|a, b| a.condition.cmp(&b.condition));
+    let results = run_fig4_sweep(&cfg, Workers::auto());
     println!("{}", format_fig4(&results));
+
+    // The sweep engine's payoff: the same plan on 1 worker vs all cores.
+    // Outputs are byte-identical (a checked-in test asserts it); only the
+    // wall-clock differs.
+    let quick = ConditionConfig {
+        horizon_ms: 600,
+        ..cfg
+    };
+    let mut group = c.benchmark_group("fig4_sweep");
+    group.sample_size(2);
+    group.bench_function("serial", |b| {
+        b.iter(|| run_fig4_sweep(&quick, Workers::SERIAL))
+    });
+    group.bench_function("parallel_auto", |b| {
+        b.iter(|| run_fig4_sweep(&quick, Workers::auto()))
+    });
+    group.finish();
 
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
@@ -39,7 +44,8 @@ fn bench(c: &mut Criterion) {
         (Design::F2Tree, Condition::C5),
         (Design::F2Tree, Condition::C7),
     ] {
-        group.bench_function(format!("{design}_{condition}"), |b| {
+        let id = format!("{design}_{condition}");
+        group.bench_function(&id, |b| {
             b.iter(|| run_condition(design, condition, &cfg))
         });
     }

@@ -40,35 +40,49 @@ impl ControlPlaneMode {
 /// All tunables of the packet-level emulator, defaulting to the paper's
 /// emulation setup: 1 Gbps / 5 µs links (~250 µs RTT), 60 ms failure
 /// detection, 200 ms SPF timer, 10 ms FIB update.
+///
+/// Construct via [`EmuConfig::default`] or the typed builder — the fields
+/// themselves are not public, so every non-default configuration reads as
+/// a named, validated mutation:
+///
+/// ```
+/// use dcn_emu::{ControlPlaneMode, EmuConfig};
+///
+/// let config = EmuConfig::builder()
+///     .control_plane(ControlPlaneMode::centralized_default())
+///     .build();
+/// assert_ne!(config, EmuConfig::default());
+/// assert_eq!(EmuConfig::builder().build(), EmuConfig::default());
+/// ```
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct EmuConfig {
     /// Link bandwidth/propagation/buffering.
-    pub link: LinkSpec,
+    pub(crate) link: LinkSpec,
     /// BFD-like interface failure detection delay (measured at ~60 ms on
     /// the paper's testbed).
-    pub detection_delay: SimDuration,
+    pub(crate) detection_delay: SimDuration,
     /// Per-switch LSA processing delay ("the LSA propagation and the CPU
     /// processing delay contribute a small part").
-    pub lsa_processing_delay: SimDuration,
+    pub(crate) lsa_processing_delay: SimDuration,
     /// Wire size of an LSA packet.
-    pub lsa_packet_bytes: u32,
+    pub(crate) lsa_packet_bytes: u32,
     /// TCP/IP header overhead added to every data segment.
-    pub header_bytes: u32,
+    pub(crate) header_bytes: u32,
     /// Wire size of a pure ACK.
-    pub ack_bytes: u32,
+    pub(crate) ack_bytes: u32,
     /// UDP/IP header overhead for probe datagrams.
-    pub udp_header_bytes: u32,
+    pub(crate) udp_header_bytes: u32,
     /// Router timers (SPF throttle, FIB update).
-    pub router: RouterConfig,
+    pub(crate) router: RouterConfig,
     /// TCP parameters.
-    pub tcp: TcpConfig,
+    pub(crate) tcp: TcpConfig,
     /// Whether across links are OSPF-passive (default true): they carry
     /// only the static backup routes, leaving baseline shortest paths
     /// identical to the un-rewired fabric (§II-D: backup routes are not
     /// used in forwarding unless failures happen).
-    pub across_links_passive: bool,
+    pub(crate) across_links_passive: bool,
     /// Distributed (default) or centralized control plane.
-    pub control_plane: ControlPlaneMode,
+    pub(crate) control_plane: ControlPlaneMode,
 }
 
 impl Default for EmuConfig {
@@ -89,6 +103,151 @@ impl Default for EmuConfig {
     }
 }
 
+impl EmuConfig {
+    /// Starts a builder seeded with the paper defaults.
+    pub fn builder() -> EmuConfigBuilder {
+        EmuConfigBuilder {
+            config: EmuConfig::default(),
+        }
+    }
+
+    /// Link bandwidth/propagation/buffering.
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+
+    /// BFD-like interface failure detection delay.
+    pub fn detection_delay(&self) -> SimDuration {
+        self.detection_delay
+    }
+
+    /// Per-switch LSA processing delay.
+    pub fn lsa_processing_delay(&self) -> SimDuration {
+        self.lsa_processing_delay
+    }
+
+    /// Wire size of an LSA packet.
+    pub fn lsa_packet_bytes(&self) -> u32 {
+        self.lsa_packet_bytes
+    }
+
+    /// TCP/IP header overhead added to every data segment.
+    pub fn header_bytes(&self) -> u32 {
+        self.header_bytes
+    }
+
+    /// Wire size of a pure ACK.
+    pub fn ack_bytes(&self) -> u32 {
+        self.ack_bytes
+    }
+
+    /// UDP/IP header overhead for probe datagrams.
+    pub fn udp_header_bytes(&self) -> u32 {
+        self.udp_header_bytes
+    }
+
+    /// Router timers (SPF throttle, FIB update).
+    pub fn router(&self) -> RouterConfig {
+        self.router
+    }
+
+    /// TCP parameters.
+    pub fn tcp(&self) -> TcpConfig {
+        self.tcp
+    }
+
+    /// Whether across links are OSPF-passive.
+    pub fn across_links_passive(&self) -> bool {
+        self.across_links_passive
+    }
+
+    /// Distributed or centralized control plane.
+    pub fn control_plane(&self) -> ControlPlaneMode {
+        self.control_plane
+    }
+}
+
+/// Typed builder for [`EmuConfig`]; every setter overrides one paper
+/// default. Obtained from [`EmuConfig::builder`], finished with
+/// [`EmuConfigBuilder::build`].
+#[derive(Copy, Clone, Debug)]
+pub struct EmuConfigBuilder {
+    config: EmuConfig,
+}
+
+impl EmuConfigBuilder {
+    /// Sets link bandwidth/propagation/buffering.
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        self.config.link = link;
+        self
+    }
+
+    /// Sets the interface failure detection delay.
+    pub fn detection_delay(mut self, delay: SimDuration) -> Self {
+        self.config.detection_delay = delay;
+        self
+    }
+
+    /// Sets the per-switch LSA processing delay.
+    pub fn lsa_processing_delay(mut self, delay: SimDuration) -> Self {
+        self.config.lsa_processing_delay = delay;
+        self
+    }
+
+    /// Sets the wire size of an LSA packet.
+    pub fn lsa_packet_bytes(mut self, bytes: u32) -> Self {
+        self.config.lsa_packet_bytes = bytes;
+        self
+    }
+
+    /// Sets the TCP/IP header overhead per data segment.
+    pub fn header_bytes(mut self, bytes: u32) -> Self {
+        self.config.header_bytes = bytes;
+        self
+    }
+
+    /// Sets the wire size of a pure ACK.
+    pub fn ack_bytes(mut self, bytes: u32) -> Self {
+        self.config.ack_bytes = bytes;
+        self
+    }
+
+    /// Sets the UDP/IP header overhead for probe datagrams.
+    pub fn udp_header_bytes(mut self, bytes: u32) -> Self {
+        self.config.udp_header_bytes = bytes;
+        self
+    }
+
+    /// Sets the router timers (SPF throttle, FIB update).
+    pub fn router(mut self, router: RouterConfig) -> Self {
+        self.config.router = router;
+        self
+    }
+
+    /// Sets the TCP parameters.
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.config.tcp = tcp;
+        self
+    }
+
+    /// Sets whether across links are OSPF-passive.
+    pub fn across_links_passive(mut self, passive: bool) -> Self {
+        self.config.across_links_passive = passive;
+        self
+    }
+
+    /// Sets the control-plane mode.
+    pub fn control_plane(mut self, mode: ControlPlaneMode) -> Self {
+        self.config.control_plane = mode;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> EmuConfig {
+        self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +261,29 @@ mod tests {
         assert_eq!(c.link.bandwidth_bps, 1_000_000_000);
         assert_eq!(c.link.propagation.as_micros(), 5);
         assert_eq!(c.tcp.min_rto.as_millis(), 200);
+    }
+
+    #[test]
+    fn untouched_builder_reproduces_default() {
+        assert_eq!(EmuConfig::builder().build(), EmuConfig::default());
+    }
+
+    #[test]
+    fn setters_apply_and_getters_read_back() {
+        let config = EmuConfig::builder()
+            .detection_delay(SimDuration::from_millis(10))
+            .across_links_passive(false)
+            .lsa_packet_bytes(200)
+            .control_plane(ControlPlaneMode::centralized_default())
+            .build();
+        assert_eq!(config.detection_delay().as_millis(), 10);
+        assert!(!config.across_links_passive());
+        assert_eq!(config.lsa_packet_bytes(), 200);
+        assert_eq!(
+            config.control_plane(),
+            ControlPlaneMode::centralized_default()
+        );
+        // Untouched fields keep their defaults.
+        assert_eq!(config.header_bytes(), EmuConfig::default().header_bytes());
     }
 }

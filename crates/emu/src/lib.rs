@@ -15,25 +15,21 @@
 //! control plane converges (fat tree, so ~270 ms):
 //!
 //! ```
-//! use dcn_emu::{EmuConfig, Network};
-//! use dcn_net::{FatTree, Layer};
+//! use dcn_net::Layer;
 //! use dcn_sim::{SimDuration, SimTime};
+//! use f2tree_experiments::{Design, TestBed};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let topo = FatTree::new(4)?.hosts_per_tor(1).build();
-//! let mut net = Network::new(topo, EmuConfig::default())?;
-//! let hosts = net.topology().hosts().to_vec();
-//! let probe = net.add_udp_probe(hosts[0], *hosts.last().unwrap(), SimTime::ZERO);
+//! let mut bed = TestBed::build(Design::FatTree, 4, 1)?;
+//! let (src, dst) = bed.probe_endpoints();
+//! let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
 //!
 //! // Find the agg->ToR link on the probe's current path and fail it.
-//! let path = net.trace_path(probe);
-//! let dest_tor = path[path.len() - 2];
-//! let path_agg = path[path.len() - 3];
-//! let link = net.topology().link_between(path_agg, dest_tor).unwrap();
-//! net.fail_link_at(SimTime::ZERO + SimDuration::from_millis(380), link);
+//! let link = bed.probe_path_link(probe, Layer::Agg).unwrap();
+//! bed.net.fail_link_at(SimTime::ZERO + SimDuration::from_millis(380), link);
 //!
-//! net.run_until(SimTime::ZERO + SimDuration::from_secs(2));
-//! let report = net.udp_probe_report(probe);
+//! bed.net.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+//! let report = bed.net.udp_probe_report(probe);
 //! let loss = report.connectivity
 //!     .loss_around(SimTime::ZERO + SimDuration::from_millis(380))
 //!     .unwrap();
@@ -48,5 +44,5 @@
 mod config;
 mod network;
 
-pub use config::{ControlPlaneMode, EmuConfig};
+pub use config::{ControlPlaneMode, EmuConfig, EmuConfigBuilder};
 pub use network::{DropCounters, FlowId, Network, RequestId, UdpProbeReport};

@@ -283,10 +283,9 @@ fn unidirectional_failure_detected_by_both_endpoints() {
 #[test]
 fn centralized_control_plane_converges_after_report_compute_push() {
     use dcn_emu::ControlPlaneMode;
-    let config = EmuConfig {
-        control_plane: ControlPlaneMode::centralized_default(),
-        ..EmuConfig::default()
-    };
+    let config = EmuConfig::builder()
+        .control_plane(ControlPlaneMode::centralized_default())
+        .build();
     let topo = FatTree::new(4).unwrap().hosts_per_tor(1).build();
     let mut net = Network::new(topo, config).unwrap();
     let (src, dst) = probe_endpoints(net.topology());

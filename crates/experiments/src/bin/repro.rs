@@ -1,33 +1,38 @@
 //! Regenerates every table and figure of the paper at paper scale.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
-//!                              c7x|ablation|centralized|unidirectional|all]
+//! repro [--quick] [--out DIR] [--workers N]
+//!       [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
+//!        c7x|ablation|centralized|unidirectional|all]
 //! ```
 //!
 //! With no target, everything runs. `--quick` shrinks the Fig. 6
-//! workload 10x; `--out DIR` additionally writes CSV artifacts.
+//! workload 10x; `--out DIR` additionally writes CSV artifacts;
+//! `--workers N` sets the sweep-engine worker count (default: the
+//! `DCN_WORKERS` env var, else all cores — the output is byte-identical
+//! for every value).
 
 use std::path::PathBuf;
 
 use dcn_failure::Condition;
+use dcn_sweep::Workers;
 use f2tree_experiments::artifacts;
 use f2tree_experiments::conditions::{
-    format_fig4, format_table4, run_condition, run_fig4, ConditionConfig,
+    format_fig4, format_table4, run_condition, run_fig4_sweep, ConditionConfig,
 };
 use f2tree_experiments::extensions::{
     format_ablation, format_aspen, format_bisection, format_c7_wide, format_centralized,
     run_aspen_baseline, run_bisection, run_c7_wide, run_centralized_sweep, run_timer_ablation,
     run_unidirectional,
 };
-use f2tree_experiments::fig7::{format_fig7, run_fig7, Fig7Config};
+use f2tree_experiments::fig7::{format_fig7, run_fig7_sweep, Fig7Config};
 use f2tree_experiments::plot::{sparkline, sparkline_values};
 use f2tree_experiments::summary::{format_summary, run_summary};
 use f2tree_experiments::table1::{format_table1, run_table1};
 use f2tree_experiments::table2::{format_table2, run_table2};
 use f2tree_experiments::testbed::{format_table3, run_table3, TestbedConfig};
 use f2tree_experiments::workload::{
-    format_fig6, format_fig6_stats, run_fig6, run_fig6_multiseed, WorkloadConfig,
+    format_fig6, format_fig6_stats, run_fig6, run_fig6_multiseed_sweep, WorkloadConfig,
 };
 use f2tree_experiments::Design;
 
@@ -42,6 +47,13 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
+    let workers: Workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        // CLI flag validation: exiting with a message is the intent.
+        .map(|v| Workers::parse(v).expect("--workers takes a positive integer")) // lint:allow(panic-safety)
+        .unwrap_or_else(Workers::auto);
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -50,7 +62,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" {
+            if *a == "--out" || *a == "--workers" {
                 skip_next = true;
                 return false;
             }
@@ -93,7 +105,7 @@ fn main() {
     }
     if want("fig4") {
         let cfg = ConditionConfig::default();
-        let results = run_fig4(&cfg);
+        let results = run_fig4_sweep(&cfg, workers);
         println!("{}", format_fig4(&results));
         if let Some(dir) = &out_dir {
             artifacts::export_fig4(dir, &results).expect("write fig4 csv");
@@ -143,11 +155,11 @@ fn main() {
         } else {
             WorkloadConfig::default()
         };
-        let stats = run_fig6_multiseed(&base, &[20150701, 42, 7, 1234, 99]);
+        let stats = run_fig6_multiseed_sweep(&base, &[20150701, 42, 7, 1234, 99], workers);
         println!("{}", format_fig6_stats(&stats));
     }
     if want("fig7") {
-        println!("{}", format_fig7(&run_fig7(&Fig7Config::default())));
+        println!("{}", format_fig7(&run_fig7_sweep(&Fig7Config::default(), workers)));
     }
     if want("bisection") {
         println!(

@@ -3,9 +3,49 @@
 
 use dcn_emu::{EmuConfig, FlowId, Network};
 use dcn_failure::{condition_links, Condition, ScenarioContext};
-use dcn_net::{FatTree, Layer, LinkId, NodeId, PodRing, Topology};
+use dcn_net::{AddressingError, FatTree, Layer, LinkId, NodeId, PodRing, Topology, TopologyError};
 use f2tree::{network_backup_routes, F2TreeNetwork};
 use serde::{Deserialize, Serialize};
+
+/// Why a [`TestBed`] could not be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestBedError {
+    /// The topology builder rejected the parameters (e.g. odd or
+    /// too-small `k`), mirroring the `FatTree::new` contract.
+    Topology(TopologyError),
+    /// The topology was valid but exceeds the addressing scheme.
+    Addressing(AddressingError),
+}
+
+impl std::fmt::Display for TestBedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestBedError::Topology(e) => write!(f, "invalid topology parameters: {e}"),
+            TestBedError::Addressing(e) => write!(f, "unaddressable scale: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TestBedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TestBedError::Topology(e) => Some(e),
+            TestBedError::Addressing(e) => Some(e),
+        }
+    }
+}
+
+impl From<TopologyError> for TestBedError {
+    fn from(e: TopologyError) -> Self {
+        TestBedError::Topology(e)
+    }
+}
+
+impl From<AddressingError> for TestBedError {
+    fn from(e: AddressingError) -> Self {
+        TestBedError::Addressing(e)
+    }
+}
 
 /// Which data-center design an experiment instance runs on.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -51,54 +91,52 @@ impl TestBed {
     /// hosts per rack, with the F²Tree backup routes installed when
     /// applicable.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on invalid `k` (must be even, ≥ 4) or unaddressable scale.
-    pub fn build(design: Design, k: u32, hosts_per_tor: u32) -> Self {
+    /// Returns [`TestBedError`] on invalid `k` (must be even, ≥ 4) or
+    /// unaddressable scale, matching the `FatTree::new` contract.
+    pub fn build(design: Design, k: u32, hosts_per_tor: u32) -> Result<Self, TestBedError> {
         Self::build_with_config(design, k, hosts_per_tor, EmuConfig::default())
     }
 
     /// Like [`TestBed::build`] with explicit emulator parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on invalid `k` or unaddressable scale.
+    /// Returns [`TestBedError`] on invalid `k` or unaddressable scale.
     pub fn build_with_config(
         design: Design,
         k: u32,
         hosts_per_tor: u32,
         config: EmuConfig,
-    ) -> Self {
+    ) -> Result<Self, TestBedError> {
         match design {
             Design::FatTree => {
-                let topo = FatTree::new(k)
-                    .expect("valid k")
-                    .hosts_per_tor(hosts_per_tor)
-                    .build();
-                TestBed {
-                    net: Network::new(topo, config).expect("addressable"),
+                let topo = FatTree::new(k)?.hosts_per_tor(hosts_per_tor).build();
+                Ok(TestBed {
+                    net: Network::new(topo, config)?,
                     design,
                     agg_rings: Vec::new(),
                     core_rings: Vec::new(),
-                }
+                })
             }
             Design::F2Tree => {
-                let f2 = F2TreeNetwork::build_with_hosts(k, hosts_per_tor).expect("valid k");
+                let f2 = F2TreeNetwork::build_with_hosts(k, hosts_per_tor)?;
                 let backups = network_backup_routes(&f2);
                 let agg_rings = f2.agg_rings.clone();
                 let core_rings = f2.core_rings.clone();
-                let mut net = Network::new(f2.topology, config).expect("addressable");
+                let mut net = Network::new(f2.topology, config)?;
                 net.install_static_routes(
                     backups
                         .into_iter()
                         .flat_map(|(n, rs)| rs.into_iter().map(move |r| (n, r))),
                 );
-                TestBed {
+                Ok(TestBed {
                     net,
                     design,
                     agg_rings,
                     core_rings,
-                }
+                })
             }
         }
     }
@@ -159,6 +197,22 @@ impl TestBed {
             path_agg,
             path_core,
         }
+    }
+
+    /// The link a probe's path takes **down** out of the last node at
+    /// `layer`: traces the flow's current path, finds the final node at
+    /// that layer, and returns the link to the next hop. With
+    /// `Layer::Agg` this is the agg→ToR link on the downward path — the
+    /// link the paper's testbed experiment fails.
+    ///
+    /// Returns `None` if the path never visits `layer` or ends there.
+    pub fn probe_path_link(&self, probe: FlowId, layer: Layer) -> Option<LinkId> {
+        let path = self.net.trace_path(probe);
+        let pos = path
+            .iter()
+            .rposition(|&n| self.topology().node(n).layer() == Some(layer))?;
+        let next = *path.get(pos + 1)?;
+        self.topology().link_between(path[pos], next)
     }
 
     /// Resolves a Table IV condition to concrete links for a probe.
@@ -222,17 +276,27 @@ mod tests {
 
     #[test]
     fn builds_both_designs_at_k8() {
-        let fat = TestBed::build(Design::FatTree, 8, 4);
+        let fat = TestBed::build(Design::FatTree, 8, 4).expect("valid k");
         assert_eq!(fat.topology().switch_count(), 80);
         // Table I at N=8: (5*64 - 14*8 + 8)/4 = 54 switches.
-        let f2 = TestBed::build(Design::F2Tree, 8, 4);
+        let f2 = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
         assert_eq!(f2.topology().switch_count(), 54);
         assert_eq!(f2.agg_rings.len(), 6);
     }
 
     #[test]
+    fn build_rejects_odd_k_with_typed_error() {
+        let err = TestBed::build(Design::FatTree, 7, 1).unwrap_err();
+        assert!(matches!(err, TestBedError::Topology(_)));
+        let err = TestBed::build(Design::F2Tree, 2, 1).unwrap_err();
+        assert!(matches!(err, TestBedError::Topology(_)));
+        // The error chain surfaces the underlying topology error.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
     fn path_anatomy_finds_the_downward_path() {
-        let mut bed = TestBed::build(Design::F2Tree, 8, 4);
+        let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
         let (src, dst) = bed.probe_endpoints();
         let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
         let anatomy = bed.path_anatomy(probe);
@@ -243,8 +307,26 @@ mod tests {
     }
 
     #[test]
+    fn probe_path_link_matches_the_anatomy() {
+        let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
+        let (src, dst) = bed.probe_endpoints();
+        let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
+        let anatomy = bed.path_anatomy(probe);
+        assert_eq!(
+            bed.probe_path_link(probe, Layer::Agg),
+            bed.topology()
+                .link_between(anatomy.path_agg, anatomy.dest_tor)
+        );
+        assert_eq!(
+            bed.probe_path_link(probe, Layer::Core),
+            bed.topology()
+                .link_between(anatomy.path_core, anatomy.path_agg)
+        );
+    }
+
+    #[test]
     fn all_conditions_resolve_on_f2tree() {
-        let mut bed = TestBed::build(Design::F2Tree, 8, 4);
+        let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
         let (src, dst) = bed.probe_endpoints();
         let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
         let anatomy = bed.path_anatomy(probe);
@@ -256,7 +338,7 @@ mod tests {
 
     #[test]
     fn fabric_links_exclude_host_access() {
-        let bed = TestBed::build(Design::FatTree, 4, 1);
+        let bed = TestBed::build(Design::FatTree, 4, 1).expect("valid k");
         let links = bed.fabric_links();
         // k=4: 8 ToR-agg links per pod pair... total switch links = 32.
         assert_eq!(links.len(), 32);

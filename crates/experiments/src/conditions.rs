@@ -9,6 +9,7 @@
 use dcn_failure::Condition;
 use dcn_metrics::ThroughputSeries;
 use dcn_sim::{SimDuration, SimTime};
+use dcn_sweep::{ExperimentSpec, Workers};
 use serde::{Deserialize, Serialize};
 
 use crate::common::{Design, TestBed};
@@ -76,11 +77,24 @@ pub fn run_condition(
     condition: Condition,
     config: &ConditionConfig,
 ) -> ConditionResult {
+    run_condition_measured(design, condition, config).0
+}
+
+/// [`run_condition`] plus the number of simulator events the cell
+/// processed, for the sweep engine's per-cell metrics hook.
+fn run_condition_measured(
+    design: Design,
+    condition: Condition,
+    config: &ConditionConfig,
+) -> (ConditionResult, u64) {
     let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
     let fail_at = ms(config.fail_at_ms);
     let horizon = ms(config.horizon_ms);
 
-    let mut bed = TestBed::build(design, config.k, config.hosts_per_tor);
+    // Invariant: ConditionConfig scales (k=8 class) are valid and
+    // addressable; a bad hand-written config should fail loudly.
+    let mut bed = TestBed::build(design, config.k, config.hosts_per_tor)
+        .expect("condition sweep testbed builds"); // lint:allow(panic-safety)
     // Both probes are pinned onto one forwarding path, as in the paper's
     // testbed, and the condition is resolved against that shared path.
     let (udp, tcp) = bed.add_aligned_probes(SimTime::ZERO);
@@ -120,7 +134,7 @@ pub fn run_condition(
         })
         .collect();
 
-    ConditionResult {
+    let result = ConditionResult {
         design,
         condition: condition.to_string(),
         paper_condition: condition.paper_condition(),
@@ -129,19 +143,44 @@ pub fn run_condition(
         packets_lost: report.lost,
         throughput_collapse_us: collapse.map(|c| c.as_micros()),
         delay_series,
-    }
+    };
+    let events = bed.net.events_processed();
+    (result, events)
 }
 
-/// Runs the full Fig. 4 sweep: fat tree on C1–C5, F²Tree on C1–C7.
-pub fn run_fig4(config: &ConditionConfig) -> Vec<ConditionResult> {
-    let mut results = Vec::new();
+/// The Fig. 4 sweep grid: fat tree on C1–C5, F²Tree on C1–C7, in the
+/// paper's presentation order.
+pub fn fig4_cells() -> Vec<(Design, Condition)> {
+    let mut cells = Vec::new();
     for condition in Condition::ALL {
         if !condition.requires_across_links() {
-            results.push(run_condition(Design::FatTree, condition, config));
+            cells.push((Design::FatTree, condition));
         }
-        results.push(run_condition(Design::F2Tree, condition, config));
+        cells.push((Design::F2Tree, condition));
     }
-    results
+    cells
+}
+
+/// Runs the full Fig. 4 sweep on [`Workers::auto`]; results are
+/// byte-identical for every worker count (see [`run_fig4_sweep`]).
+pub fn run_fig4(config: &ConditionConfig) -> Vec<ConditionResult> {
+    run_fig4_sweep(config, Workers::auto())
+}
+
+/// Runs the Fig. 4 sweep on an explicit worker count via the sweep
+/// engine. Cell order — and therefore output — is identical for every
+/// `workers` value; only wall-clock time changes.
+pub fn run_fig4_sweep(config: &ConditionConfig, workers: Workers) -> Vec<ConditionResult> {
+    ExperimentSpec::new("fig4")
+        .cells(fig4_cells())
+        .workers(workers)
+        .build()
+        .run(|ctx| {
+            let (design, condition) = *ctx.cell();
+            let (result, events) = run_condition_measured(design, condition, config);
+            ctx.record_sim_events(events);
+            result
+        })
 }
 
 /// Renders the Fig. 4 comparison as text.

@@ -12,6 +12,7 @@
 //!   delay alone.
 
 use dcn_emu::{ControlPlaneMode, EmuConfig, Network};
+use dcn_net::Layer;
 use dcn_routing::{RouterConfig, ThrottleConfig};
 use dcn_sim::{SimDuration, SimTime};
 use f2tree::{build_wide_f2tree, wide_backup_routes};
@@ -138,15 +139,12 @@ pub struct UnidirectionalResult {
 /// recovery matches the bidirectional case.
 pub fn run_unidirectional(design: Design) -> UnidirectionalResult {
     let fail_at = ms(100);
-    let mut bed = TestBed::build(design, 8, 4);
+    // Invariant: the k=8 scales used here always build.
+    let mut bed = TestBed::build(design, 8, 4).expect("testbed builds"); // lint:allow(panic-safety)
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
     let anatomy = bed.path_anatomy(probe);
-    let link = bed
-        .net
-        .topology()
-        .link_between(anatomy.path_agg, anatomy.dest_tor)
-        .expect("path link");
+    let link = bed.probe_path_link(probe, Layer::Agg).expect("path link");
     bed.net
         .fail_link_direction_at(fail_at, link, anatomy.path_agg);
     bed.net.run_until(ms(2000));
@@ -260,23 +258,19 @@ pub struct CentralizedResult {
 /// merely tidies up afterwards.
 pub fn run_centralized(design: Design, compute_ms: u64) -> CentralizedResult {
     let fail_at = ms(100);
-    let config = EmuConfig {
-        control_plane: ControlPlaneMode::Centralized {
+    let config = EmuConfig::builder()
+        .control_plane(ControlPlaneMode::Centralized {
             report_delay: SimDuration::from_millis(5),
             compute_delay: SimDuration::from_millis(compute_ms),
             push_delay: SimDuration::from_millis(5),
-        },
-        ..EmuConfig::default()
-    };
-    let mut bed = TestBed::build_with_config(design, 8, 4, config);
+        })
+        .build();
+    // Invariant: the k=8 scales used here always build.
+    let mut bed =
+        TestBed::build_with_config(design, 8, 4, config).expect("testbed builds"); // lint:allow(panic-safety)
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
-    let anatomy = bed.path_anatomy(probe);
-    let link = bed
-        .net
-        .topology()
-        .link_between(anatomy.path_agg, anatomy.dest_tor)
-        .expect("path link");
+    let link = bed.probe_path_link(probe, Layer::Agg).expect("path link");
     bed.net.fail_link_at(fail_at, link);
     bed.net.run_until(ms(3000));
     let loss = bed
@@ -344,7 +338,8 @@ pub struct BisectionResult {
 /// goodput should track the fat tree's.
 pub fn run_bisection(design: Design) -> BisectionResult {
     const BYTES: u64 = 5_000_000;
-    let mut bed = TestBed::build(design, 8, 4);
+    // Invariant: the k=8 scales used here always build.
+    let mut bed = TestBed::build(design, 8, 4).expect("testbed builds"); // lint:allow(panic-safety)
     let hosts = bed.topology().hosts().to_vec();
     // First 12 hosts are pod 0 (F2Tree: 3 ToRs x 4 hosts); last 12 are
     // the last pod. Use 12 on both designs for comparability.
@@ -432,27 +427,23 @@ pub fn run_timer_ablation() -> Vec<AblationRow> {
     ];
     for &(detection_ms, spf_ms, fib_ms) in cells {
         for design in [Design::FatTree, Design::F2Tree] {
-            let config = EmuConfig {
-                detection_delay: SimDuration::from_millis(detection_ms),
-                router: RouterConfig {
+            let config = EmuConfig::builder()
+                .detection_delay(SimDuration::from_millis(detection_ms))
+                .router(RouterConfig {
                     throttle: ThrottleConfig {
                         initial_delay: SimDuration::from_millis(spf_ms),
                         ..ThrottleConfig::default()
                     },
                     fib_update_delay: SimDuration::from_millis(fib_ms),
-                },
-                ..EmuConfig::default()
-            };
+                })
+                .build();
             let fail_at = ms(100);
-            let mut bed = TestBed::build_with_config(design, 8, 4, config);
+            // Invariant: the k=8 scales used here always build.
+            let mut bed = TestBed::build_with_config(design, 8, 4, config)
+                .expect("testbed builds"); // lint:allow(panic-safety)
             let (src, dst) = bed.probe_endpoints();
             let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
-            let anatomy = bed.path_anatomy(probe);
-            let link = bed
-                .net
-                .topology()
-                .link_between(anatomy.path_agg, anatomy.dest_tor)
-                .expect("path link");
+            let link = bed.probe_path_link(probe, Layer::Agg).expect("path link");
             bed.net.fail_link_at(fail_at, link);
             bed.net.run_until(ms(3000));
             let loss = bed

@@ -7,6 +7,7 @@
 use dcn_emu::{EmuConfig, FlowId, Network};
 use dcn_net::{LeafSpine, NodeId, PodRing, Protocol, Topology, Vl2};
 use dcn_sim::{SimDuration, SimTime};
+use dcn_sweep::{ExperimentSpec, Workers};
 use f2tree::{f2_leaf_spine, f2_vl2, ring_backup_routes, BackupPrefixes};
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +131,16 @@ fn add_probe_via(net: &mut Network, src: NodeId, dst: NodeId, via: NodeId) -> Fl
 
 /// Runs one Fig. 7 cell.
 pub fn run_fig7_cell(fabric: Fabric, design: Design, config: &Fig7Config) -> Fig7Result {
+    run_fig7_cell_measured(fabric, design, config).0
+}
+
+/// [`run_fig7_cell`] plus the simulator-event count, for the sweep
+/// engine's per-cell metrics hook.
+fn run_fig7_cell_measured(
+    fabric: Fabric,
+    design: Design,
+    config: &Fig7Config,
+) -> (Fig7Result, u64) {
     let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
     let (mut net, ring) = build_network(fabric, design, config);
     let (src, dst) = probe_endpoints(net.topology());
@@ -172,23 +183,42 @@ pub fn run_fig7_cell(fabric: Fabric, design: Design, config: &Fig7Config) -> Fig
         .connectivity
         .loss_around(ms(config.fail_at_ms))
         .expect("probe recovers");
-    Fig7Result {
+    let result = Fig7Result {
         fabric,
         design,
         connectivity_loss_us: loss.duration.as_micros(),
         packets_lost: report.lost,
-    }
+    };
+    (result, net.events_processed())
 }
 
-/// Runs all four Fig. 7 cells.
+/// Runs all four Fig. 7 cells on [`Workers::auto`]; results are
+/// byte-identical for every worker count (see [`run_fig7_sweep`]).
 pub fn run_fig7(config: &Fig7Config) -> Vec<Fig7Result> {
-    let mut out = Vec::new();
+    run_fig7_sweep(config, Workers::auto())
+}
+
+/// Runs the Fig. 7 grid (Leaf-Spine and VL2, each plain and F²-rewired)
+/// on an explicit worker count via the sweep engine. Output order is the
+/// plan order — fabric-major, original before F² — for every `workers`
+/// value.
+pub fn run_fig7_sweep(config: &Fig7Config, workers: Workers) -> Vec<Fig7Result> {
+    let mut cells = Vec::new();
     for fabric in [Fabric::LeafSpine, Fabric::Vl2] {
         for design in [Design::FatTree, Design::F2Tree] {
-            out.push(run_fig7_cell(fabric, design, config));
+            cells.push((fabric, design));
         }
     }
-    out
+    ExperimentSpec::new("fig7")
+        .cells(cells)
+        .workers(workers)
+        .build()
+        .run(|ctx| {
+            let (fabric, design) = *ctx.cell();
+            let (result, events) = run_fig7_cell_measured(fabric, design, config);
+            ctx.record_sim_events(events);
+            result
+        })
 }
 
 /// Renders the Fig. 7 comparison as text.

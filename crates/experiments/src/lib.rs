@@ -41,4 +41,4 @@ pub mod table2;
 pub mod testbed;
 pub mod workload;
 
-pub use common::{Design, TestBed};
+pub use common::{Design, TestBed, TestBedError};

@@ -25,7 +25,8 @@ pub struct Table2Row {
 /// Dumps the routing table of the first aggregation ring member of a
 /// `k`-port F²Tree (longest prefixes first, as the FIB searches).
 pub fn run_table2(k: u32) -> Vec<Table2Row> {
-    let mut bed = TestBed::build(Design::F2Tree, k, 1);
+    // Invariant: run_table2 is called with the paper's k values (6, 8).
+    let mut bed = TestBed::build(Design::F2Tree, k, 1).expect("valid k"); // lint:allow(panic-safety)
     // Force a settled clock so the dump is from a converged network.
     bed.net.run_until(SimTime::ZERO);
     let agg = bed.agg_rings[0].members[0];
@@ -69,7 +70,7 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
 /// contain OSPF /24 rack routes and exactly the two static backups with
 /// graduated prefix lengths.
 pub fn verify_table2_shape(k: u32) -> Result<(), String> {
-    let mut bed = TestBed::build(Design::F2Tree, k, 1);
+    let mut bed = TestBed::build(Design::F2Tree, k, 1).map_err(|e| e.to_string())?;
     bed.net.run_until(SimTime::ZERO);
     let agg = bed.agg_rings[0].members[0];
     let router = bed.net.router(agg).expect("agg router");

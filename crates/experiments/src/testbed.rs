@@ -8,6 +8,7 @@
 //! throughput series.
 
 use dcn_metrics::ThroughputSeries;
+use dcn_net::Layer;
 use dcn_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -61,14 +62,13 @@ pub fn run_testbed(design: Design, config: &TestbedConfig) -> TestbedResult {
     let horizon = ms(config.horizon_ms);
     let bin = SimDuration::from_millis(config.bin_ms);
 
-    let mut bed = TestBed::build(design, config.k, 1);
+    // Invariant: TestbedConfig scales (k=4 class) are valid.
+    let mut bed = TestBed::build(design, config.k, 1).expect("testbed builds"); // lint:allow(panic-safety)
     // Both probes share one forwarding path, as in the paper's testbed,
     // and the downward ToR-agg link of that path is torn down.
     let (udp, tcp) = bed.add_aligned_probes(SimTime::ZERO);
-    let anatomy = bed.path_anatomy(udp);
     let link = bed
-        .topology()
-        .link_between(anatomy.path_agg, anatomy.dest_tor)
+        .probe_path_link(udp, Layer::Agg)
         .expect("path link exists");
     bed.net.fail_link_at(fail_at, link);
 

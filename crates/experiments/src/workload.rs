@@ -11,6 +11,7 @@ use dcn_failure::{generate_random_failures, RandomFailureConfig};
 use dcn_metrics::DurationSummary;
 use dcn_net::NodeId;
 use dcn_sim::{SimDuration, SimRng, SimTime};
+use dcn_sweep::{ExperimentSpec, Workers};
 use dcn_transport::{
     generate_background, generate_requests, BackgroundConfig, PartitionAggregateConfig,
 };
@@ -106,7 +107,10 @@ pub struct WorkloadResult {
 
 /// Runs the workload experiment for one design and regime.
 pub fn run_workload(design: Design, config: &WorkloadConfig) -> WorkloadResult {
-    let mut bed = TestBed::build(design, config.k, config.hosts_per_tor);
+    // Invariant: WorkloadConfig scales (k=8 class) are valid and
+    // addressable; a bad hand-written config should fail loudly.
+    let mut bed = TestBed::build(design, config.k, config.hosts_per_tor)
+        .expect("workload testbed builds"); // lint:allow(panic-safety)
     let hosts: Vec<NodeId> = bed.topology().hosts().to_vec();
     let duration = SimDuration::from_secs(config.duration_s);
 
@@ -242,29 +246,35 @@ pub fn run_fig6_statistics(
     }
 }
 
-/// Runs both designs under both regimes over `seeds`, one thread per
-/// (design, regime) cell.
+/// Runs both designs under both regimes over `seeds` on
+/// [`Workers::auto`]; see [`run_fig6_multiseed_sweep`].
 pub fn run_fig6_multiseed(base: &WorkloadConfig, seeds: &[u64]) -> Vec<Fig6Statistics> {
+    run_fig6_multiseed_sweep(base, seeds, Workers::auto())
+}
+
+/// Runs the Fig. 6 multi-seed grid — both designs under both regimes —
+/// on an explicit worker count via the sweep engine. Output order (and
+/// every statistic in it) is identical for every `workers` value.
+pub fn run_fig6_multiseed_sweep(
+    base: &WorkloadConfig,
+    seeds: &[u64],
+    workers: Workers,
+) -> Vec<Fig6Statistics> {
     let cells: Vec<(Design, usize)> = vec![
         (Design::FatTree, 1),
         (Design::F2Tree, 1),
         (Design::FatTree, 5),
         (Design::F2Tree, 5),
     ];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .iter()
-            .map(|&(design, concurrent)| {
-                let cfg = base.clone().with_concurrency(concurrent);
-                let seeds = seeds.to_vec();
-                scope.spawn(move || run_fig6_statistics(design, &cfg, &seeds))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("workload thread"))
-            .collect()
-    })
+    ExperimentSpec::new("fig6-multiseed")
+        .cells(cells)
+        .workers(workers)
+        .build()
+        .run(|ctx| {
+            let (design, concurrent) = *ctx.cell();
+            let cfg = base.clone().with_concurrency(concurrent);
+            run_fig6_statistics(design, &cfg, seeds)
+        })
 }
 
 /// Renders the multi-seed statistics table.
@@ -362,7 +372,7 @@ mod tests {
             background_flows: 20,
             ..WorkloadConfig::default()
         };
-        let mut bed = TestBed::build(Design::F2Tree, cfg.k, cfg.hosts_per_tor);
+        let mut bed = TestBed::build(Design::F2Tree, cfg.k, cfg.hosts_per_tor).expect("valid k");
         let hosts: Vec<NodeId> = bed.topology().hosts().to_vec();
         let pa = PartitionAggregateConfig {
             requests: cfg.requests,

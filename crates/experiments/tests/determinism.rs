@@ -6,7 +6,10 @@
 //! sources of run-to-run drift (hash iteration order, ambient RNGs, wall
 //! clocks) statically.
 
-use f2tree_experiments::conditions::{format_fig4, run_fig4, ConditionConfig, ConditionResult};
+use dcn_sweep::Workers;
+use f2tree_experiments::conditions::{
+    format_fig4, run_fig4, run_fig4_sweep, ConditionConfig, ConditionResult,
+};
 
 /// Renders everything a run measures — including the Fig. 5 delay series,
 /// which `format_fig4` omits — so any nondeterminism shows up.
@@ -37,4 +40,22 @@ fn fig4_sweep_is_byte_identical_across_runs() {
     );
     // Sanity: the render actually contains measurements, not just headers.
     assert!(first.contains("C1"), "unexpectedly empty sweep:\n{first}");
+}
+
+#[test]
+fn fig4_sweep_is_byte_identical_across_worker_counts() {
+    // The sweep engine's core contract: `--workers N` is pure throughput
+    // configuration. One worker and four workers must render the exact
+    // same bytes, cell for cell.
+    let config = ConditionConfig {
+        horizon_ms: 800,
+        ..ConditionConfig::default()
+    };
+    let serial = render(&run_fig4_sweep(&config, Workers::SERIAL));
+    let parallel = render(&run_fig4_sweep(&config, Workers::new(4)));
+    assert!(
+        serial == parallel,
+        "worker count changed the output:\n--- 1 worker ---\n{serial}\n--- 4 workers ---\n{parallel}"
+    );
+    assert!(serial.contains("C7"), "unexpectedly empty sweep:\n{serial}");
 }

@@ -42,6 +42,27 @@ impl DetRng {
         }
     }
 
+    /// Derives an independent generator for stream `stream` of master seed
+    /// `master_seed`, via SplitMix64 mixing of the pair.
+    ///
+    /// This is the workspace's one sanctioned way to split a master seed
+    /// into per-component or per-cell streams: the derived stream is a pure
+    /// function of `(master_seed, stream)`, so it never depends on how much
+    /// randomness any other stream consumed — or, in a parallel sweep, on
+    /// which worker thread ran which cell in what order. [`SimRng::fork`]
+    /// and the `dcn-sweep` per-cell streams are both built on it.
+    pub fn for_stream(master_seed: u64, stream: u64) -> Self {
+        DetRng::seed_from_u64(Self::stream_seed(master_seed, stream))
+    }
+
+    /// The derived 64-bit seed of stream `stream` under `master_seed` —
+    /// the value [`DetRng::for_stream`] expands into generator state.
+    /// Exposed so callers (e.g. the sweep engine) can label or log the
+    /// per-stream seed they hand out.
+    pub fn stream_seed(master_seed: u64, stream: u64) -> u64 {
+        mix_stream(master_seed, stream)
+    }
+
     /// The next uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
@@ -69,6 +90,17 @@ impl DetRng {
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+}
+
+/// SplitMix64-style mixing of `(master_seed, stream)` into a derived seed.
+///
+/// `stream + 1` keeps stream 0 distinct from the master seed itself.
+fn mix_stream(master_seed: u64, stream: u64) -> u64 {
+    let mut z = master_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Parameters of a log-normal distribution on the *log* scale.
@@ -143,14 +175,7 @@ impl SimRng {
     /// Derives an independent generator for a named sub-stream, so adding
     /// draws to one component never perturbs another.
     pub fn fork(&self, stream: u64) -> SimRng {
-        // SplitMix64-style mixing of (seed, stream).
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        SimRng::new(z)
+        SimRng::new(mix_stream(self.seed, stream))
     }
 
     /// A uniform `u64`.
@@ -243,6 +268,18 @@ mod tests {
         // And distinct streams differ.
         let mut f2 = parent.fork(2);
         assert_ne!(f1.gen_u64(), f2.gen_u64());
+    }
+
+    #[test]
+    fn for_stream_and_fork_agree() {
+        // Both split paths go through the same SplitMix64 mixing, so a
+        // sweep cell seeded with `DetRng::for_stream(seed, i)` replays the
+        // stream `SimRng::new(seed).fork(i)` would produce.
+        let mut forked = SimRng::new(9).fork(3);
+        let mut direct = DetRng::for_stream(9, 3);
+        for _ in 0..16 {
+            assert_eq!(forked.gen_u64(), direct.next_u64());
+        }
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! The per-cell progress/metrics hook.
+//!
+//! A [`SweepObserver`] is handed to [`crate::RunPlan::run_observed`] and
+//! receives one [`CellReport`] per completed cell plus a final
+//! [`SweepSummary`]. This is deliberately a minimal seam: richer
+//! observability (progress bars, structured logs, per-cell tracing) can be
+//! layered on without touching the engine.
+//!
+//! Per-cell callbacks fire in *completion* order from whichever worker
+//! finished the cell, so an observer must be `Sync` and must not assume any
+//! ordering; wall-times are host measurements and are the one
+//! intentionally nondeterministic output of a sweep.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Metrics for one completed cell.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// The cell's index in plan order.
+    pub index: usize,
+    /// Total cells in the plan.
+    pub total: usize,
+    /// Host wall-clock time spent executing the cell.
+    pub wall: Duration,
+    /// Simulator events the cell reported via
+    /// [`crate::CellCtx::record_sim_events`] (zero if the cell never
+    /// reported).
+    pub sim_events: u64,
+}
+
+/// Whole-sweep metrics, delivered once after the merge.
+#[derive(Clone, Debug)]
+pub struct SweepSummary {
+    /// The plan's name.
+    pub name: String,
+    /// Cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Host wall-clock time for the whole sweep, including the merge.
+    pub wall: Duration,
+    /// Sum of every cell's reported simulator events.
+    pub sim_events: u64,
+}
+
+/// Receives sweep progress. All methods default to no-ops so observers
+/// implement only what they need.
+pub trait SweepObserver: Sync {
+    /// A cell finished executing (called from the worker that ran it).
+    fn cell_completed(&self, report: &CellReport) {
+        let _ = report;
+    }
+
+    /// The whole sweep finished and results were merged in cell order.
+    fn sweep_completed(&self, summary: &SweepSummary) {
+        let _ = summary;
+    }
+}
+
+/// The do-nothing observer used by [`crate::RunPlan::run`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoopObserver;
+
+impl SweepObserver for NoopObserver {}
+
+/// An observer that tallies progress into atomics — usable from tests and
+/// as a cheap live progress source.
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    cells: AtomicUsize,
+    sim_events: AtomicU64,
+    sweeps: AtomicUsize,
+}
+
+impl CountingObserver {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cells completed so far.
+    pub fn cells_completed(&self) -> usize {
+        self.cells.load(Ordering::Relaxed)
+    }
+
+    /// Simulator events reported so far.
+    pub fn sim_events(&self) -> u64 {
+        self.sim_events.load(Ordering::Relaxed)
+    }
+
+    /// Sweeps completed so far.
+    pub fn sweeps_completed(&self) -> usize {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+}
+
+impl SweepObserver for CountingObserver {
+    fn cell_completed(&self, report: &CellReport) {
+        self.cells.fetch_add(1, Ordering::Relaxed);
+        self.sim_events.fetch_add(report.sim_events, Ordering::Relaxed);
+    }
+
+    fn sweep_completed(&self, _summary: &SweepSummary) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+    }
+}

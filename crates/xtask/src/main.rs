@@ -30,6 +30,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/routing/src",
     "crates/emu/src",
     "crates/core/src",
+    "crates/sweep/src",
 ];
 
 /// The only files allowed to define protocol timer constants:

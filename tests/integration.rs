@@ -50,7 +50,7 @@ fn the_full_pipeline_from_fat_tree_to_running_f2tree() {
 fn across_links_are_invisible_until_failure() {
     // Baseline routing must be identical to an un-rewired fabric: the
     // probe's path never uses across links while healthy (§II-D).
-    let mut bed = TestBed::build(Design::F2Tree, 8, 4);
+    let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
     let path = bed.net.trace_path(probe);
@@ -67,7 +67,7 @@ fn across_links_are_invisible_until_failure() {
 
 #[test]
 fn backup_routes_sit_in_every_ring_members_fib() {
-    let bed = TestBed::build(Design::F2Tree, 8, 4);
+    let bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
     for ring in bed.agg_rings.iter().chain(bed.core_rings.iter()) {
         for &member in &ring.members {
             let fib = bed.net.router(member).unwrap().fib();
@@ -90,15 +90,10 @@ fn structural_and_behavioural_backup_counts_agree() {
     let summary = layer_backup_summary(&f2.topology, Layer::Agg);
     assert_eq!(summary.downward_min, 2);
 
-    let mut bed = TestBed::build(Design::F2Tree, 8, 4);
+    let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
-    let anatomy = bed.path_anatomy(probe);
-    let link = bed
-        .net
-        .topology()
-        .link_between(anatomy.path_agg, anatomy.dest_tor)
-        .unwrap();
+    let link = bed.probe_path_link(probe, Layer::Agg).unwrap();
     bed.net.fail_link_at(ms(100), link);
     bed.net.run_until(ms(200));
     let path = bed.net.trace_path(probe);
@@ -115,7 +110,7 @@ fn structural_and_behavioural_backup_counts_agree() {
 fn fat_tree_and_f2tree_share_baseline_performance() {
     // Without failures, the rewiring must cost nothing observable.
     let run = |design| {
-        let mut bed = TestBed::build(design, 8, 4);
+        let mut bed = TestBed::build(design, 8, 4).expect("valid k");
         let (src, dst) = bed.probe_endpoints();
         let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
         bed.net.run_until(ms(200));
@@ -139,7 +134,7 @@ fn whole_core_switch_failure_recovers_via_ecmp_within_detection_time() {
     // Footnote 1: a switch failure = all its links failing. Killing the
     // core on the path leaves the source-side agg with live ECMP members,
     // so recovery is detection-bounded.
-    let mut bed = TestBed::build(Design::F2Tree, 8, 4);
+    let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
     let anatomy = bed.path_anatomy(probe);

@@ -3,7 +3,7 @@
 //! case-by-case description exactly.
 
 use dcn_failure::Condition;
-use dcn_net::NodeId;
+use dcn_net::{Layer, NodeId};
 use dcn_sim::{SimDuration, SimTime};
 use f2tree_experiments::{Design, TestBed};
 
@@ -25,7 +25,7 @@ struct Drill {
 
 /// Sets up a condition on F²Tree and runs into the fast-reroute window.
 fn drill(condition: Condition) -> Drill {
-    let mut bed = TestBed::build(Design::F2Tree, 8, 4);
+    let mut bed = TestBed::build(Design::F2Tree, 8, 4).expect("valid k");
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
     let anatomy = bed.path_anatomy(probe);
@@ -157,15 +157,11 @@ fn after_convergence_no_condition_leaves_a_loop() {
 fn fat_tree_blackholes_during_the_same_window() {
     // The control experiment: on the un-rewired fat tree, the detecting
     // switch has no next hop at all mid-window.
-    let mut bed = TestBed::build(Design::FatTree, 8, 4);
+    let mut bed = TestBed::build(Design::FatTree, 8, 4).expect("valid k");
     let (src, dst) = bed.probe_endpoints();
     let probe = bed.net.add_udp_probe(src, dst, SimTime::ZERO);
     let anatomy = bed.path_anatomy(probe);
-    let link = bed
-        .net
-        .topology()
-        .link_between(anatomy.path_agg, anatomy.dest_tor)
-        .unwrap();
+    let link = bed.probe_path_link(probe, Layer::Agg).unwrap();
     bed.net.fail_link_at(ms(FAIL_AT), link);
     bed.net.run_until(ms(DURING_REROUTE));
     let path = bed.net.trace_path(probe);

@@ -45,12 +45,13 @@ impl Criterion {
         self
     }
 
-    /// Times `f` and prints a one-line report.
-    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    /// Times `f` and prints a one-line report. Accepts `&str` or `String`
+    /// ids, like the real crate's `impl Into<BenchmarkId>`.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.sample_size, f);
+        run_bench(id.as_ref(), self.sample_size, f);
         self
     }
 
@@ -77,11 +78,15 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        run_bench(
+            &format!("{}/{}", self.name, id.as_ref()),
+            self.sample_size,
+            f,
+        );
         self
     }
 
