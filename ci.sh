@@ -9,7 +9,10 @@
 # 3. the in-tree static-analysis pass (determinism / panic-safety /
 #    timer-constant rules; see DESIGN.md §7 and crates/xtask/),
 # 4. a parallel sweep smoke test: the Fig. 7 grid through the sweep
-#    engine on 2 workers (exercises the worker pool end to end).
+#    engine on 2 workers (exercises the worker pool end to end),
+# 5. a fixed-seed chaos smoke campaign: 20 generated failure scenarios
+#    under the runtime invariant oracles on 2 workers (exit 1 + minimal
+#    reproducer if any oracle fires; see DESIGN.md §9).
 set -eu
 
 cd "$(dirname "$0")"
@@ -25,5 +28,8 @@ cargo run -q --release -p xtask -- lint
 
 echo "==> repro fig7 --workers 2 (sweep engine smoke test)"
 cargo run -q --release -p f2tree-experiments --bin repro -- fig7 --workers 2
+
+echo "==> repro chaos --seed 20150701 --campaigns 20 --workers 2 (invariant-oracle smoke test)"
+cargo run -q --release -p f2tree-experiments --bin repro -- chaos --seed 20150701 --campaigns 20 --workers 2
 
 echo "ci.sh: all gates passed"

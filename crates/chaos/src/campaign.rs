@@ -1,0 +1,274 @@
+//! Seeded generation of chaos scenarios.
+//!
+//! A campaign is a stream of [`ScenarioSpec`]s drawn from a [`DetRng`]: the
+//! same seed always yields byte-identical scenarios, so any campaign index
+//! that trips an oracle can be regenerated (and then shrunk) without having
+//! stored anything but `(master_seed, index)`.
+//!
+//! Every timing parameter defaults to arithmetic over the protocol timer
+//! constants in [`dcn_sim::timers`] rather than fresh literals: chaos
+//! timing is only meaningful relative to the detection / SPF / FIB-update
+//! budget the oracles reason about.
+
+use dcn_failure::{switch_links, FailureEvent, FailureSchedule};
+use dcn_net::{Layer, LinkId};
+use dcn_sim::{timers, DetRng, SimDuration, SimTime};
+use f2tree::{Design, TestBed, TestBedError};
+
+use crate::scenario::{Incident, IncidentKind, ScenarioSpec};
+
+/// Tunable knobs for scenario generation.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Fat-tree arity of the generated testbeds.
+    pub k: u32,
+    /// Hosts per ToR.
+    pub hosts_per_tor: u32,
+    /// Upper bound on incidents per scenario (uniform in `1..=max`).
+    pub max_incidents: u32,
+    /// Quiet lead-in before the first incident starts.
+    pub first_fail_after: SimDuration,
+    /// Base spacing between incident start times (jittered upward).
+    pub incident_spacing: SimDuration,
+    /// Shortest link outage (can undercut the detection delay, producing
+    /// transient failures the control plane never sees).
+    pub min_outage: SimDuration,
+    /// Longest link outage.
+    pub max_outage: SimDuration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            k: 4,
+            hosts_per_tor: 1,
+            max_incidents: 3,
+            first_fail_after: timers::SPF_INITIAL_DELAY / 2,
+            incident_spacing: timers::SPF_INITIAL_DELAY * 2,
+            min_outage: timers::DETECTION_DELAY / 2,
+            max_outage: timers::SPF_INITIAL_DELAY * 6,
+        }
+    }
+}
+
+/// Generates one scenario for `design` from `rng`.
+///
+/// Builds a throwaway testbed to learn the link/switch inventory, then
+/// samples 1..=`max_incidents` incidents over the five [`IncidentKind`]s.
+///
+/// # Errors
+///
+/// Returns [`TestBedError`] if `cfg.k`/`cfg.hosts_per_tor` do not describe
+/// a buildable testbed.
+pub fn generate_scenario(
+    design: Design,
+    rng: &mut DetRng,
+    cfg: &CampaignConfig,
+) -> Result<ScenarioSpec, TestBedError> {
+    let bed = TestBed::build(design, cfg.k, cfg.hosts_per_tor)?;
+    let fabric = bed.fabric_links();
+    let topo = bed.topology();
+    let switches: Vec<_> = [Layer::Tor, Layer::Agg, Layer::Core]
+        .into_iter()
+        .flat_map(|l| topo.layer_switches(l))
+        .collect();
+
+    let n_incidents = 1 + rng.next_below(u64::from(cfg.max_incidents.max(1))) as usize;
+    let mut incidents = Vec::with_capacity(n_incidents);
+    let mut cursor = SimTime::ZERO + cfg.first_fail_after;
+    for _ in 0..n_incidents {
+        let kind = IncidentKind::ALL[rng.next_below(IncidentKind::ALL.len() as u64) as usize];
+        let events = match kind {
+            IncidentKind::SingleLink => single_link(rng, cfg, cursor, &fabric),
+            IncidentKind::CorrelatedLinks => correlated_links(rng, cfg, cursor, &fabric),
+            IncidentKind::SwitchDown => {
+                let node = switches[rng.next_below(switches.len() as u64) as usize];
+                let outage = outage(rng, cfg);
+                let mut events = Vec::new();
+                for link in switch_links(topo, node) {
+                    events.push(down(cursor, link));
+                    events.push(up(cursor + outage, link));
+                }
+                events
+            }
+            IncidentKind::Flap => flap(rng, cfg, cursor, &fabric),
+            IncidentKind::Reconvergence => reconvergence(rng, cfg, cursor, &fabric),
+        };
+        incidents.push(Incident { kind, events });
+        cursor = cursor + cfg.incident_spacing + jitter(rng, cfg.incident_spacing);
+    }
+
+    Ok(ScenarioSpec {
+        design,
+        k: cfg.k,
+        hosts_per_tor: cfg.hosts_per_tor,
+        incidents,
+    })
+}
+
+/// Convenience wrapper: the [`FailureSchedule`] of a freshly generated
+/// scenario (used by tests that only care about the event stream).
+pub fn generate_schedule(
+    design: Design,
+    rng: &mut DetRng,
+    cfg: &CampaignConfig,
+) -> Result<FailureSchedule, TestBedError> {
+    Ok(generate_scenario(design, rng, cfg)?.schedule())
+}
+
+fn down(at: SimTime, link: LinkId) -> FailureEvent {
+    FailureEvent {
+        at,
+        link,
+        up: false,
+    }
+}
+
+fn up(at: SimTime, link: LinkId) -> FailureEvent {
+    FailureEvent { at, link, up: true }
+}
+
+// Microsecond-quantized so scenarios survive the µs-granular file format
+// byte-exactly (render → parse → render is the identity).
+fn jitter(rng: &mut DetRng, max: SimDuration) -> SimDuration {
+    SimDuration::from_micros(rng.next_below(max.as_micros().max(1)))
+}
+
+fn outage(rng: &mut DetRng, cfg: &CampaignConfig) -> SimDuration {
+    let span = cfg.max_outage.saturating_sub(cfg.min_outage);
+    cfg.min_outage + jitter(rng, span)
+}
+
+fn pick(rng: &mut DetRng, pool: &mut Vec<LinkId>) -> LinkId {
+    let idx = rng.next_below(pool.len() as u64) as usize;
+    pool.swap_remove(idx)
+}
+
+fn single_link(
+    rng: &mut DetRng,
+    cfg: &CampaignConfig,
+    t0: SimTime,
+    fabric: &[LinkId],
+) -> Vec<FailureEvent> {
+    let link = fabric[rng.next_below(fabric.len() as u64) as usize];
+    let outage = outage(rng, cfg);
+    vec![down(t0, link), up(t0 + outage, link)]
+}
+
+fn correlated_links(
+    rng: &mut DetRng,
+    cfg: &CampaignConfig,
+    t0: SimTime,
+    fabric: &[LinkId],
+) -> Vec<FailureEvent> {
+    let n = (2 + rng.next_below(3) as usize).min(fabric.len());
+    let mut pool = fabric.to_vec();
+    let mut events = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        let link = pick(rng, &mut pool);
+        // Near-simultaneous: all failures land inside one detection window.
+        let start = t0 + jitter(rng, timers::DETECTION_DELAY / 2);
+        let outage = outage(rng, cfg);
+        events.push(down(start, link));
+        events.push(up(start + outage, link));
+    }
+    events
+}
+
+fn flap(
+    rng: &mut DetRng,
+    cfg: &CampaignConfig,
+    t0: SimTime,
+    fabric: &[LinkId],
+) -> Vec<FailureEvent> {
+    let link = fabric[rng.next_below(fabric.len() as u64) as usize];
+    let cycles = 2 + rng.next_below(3);
+    let mut at = t0;
+    let mut events = Vec::new();
+    for _ in 0..cycles {
+        let down_for = cfg.min_outage + jitter(rng, timers::DETECTION_DELAY * 2);
+        let up_for = timers::DETECTION_DELAY + jitter(rng, timers::SPF_INITIAL_DELAY);
+        events.push(down(at, link));
+        events.push(up(at + down_for, link));
+        at = at + down_for + up_for;
+    }
+    events
+}
+
+fn reconvergence(
+    rng: &mut DetRng,
+    cfg: &CampaignConfig,
+    t0: SimTime,
+    fabric: &[LinkId],
+) -> Vec<FailureEvent> {
+    let mut pool = fabric.to_vec();
+    let first = pick(rng, &mut pool);
+    let second = pick(rng, &mut pool);
+    // The second failure lands after the first has been detected but while
+    // SPF scheduling / FIB installation is still in flight.
+    let second_at = t0 + timers::DETECTION_DELAY + jitter(rng, timers::SPF_INITIAL_DELAY);
+    let first_outage = outage(rng, cfg);
+    let second_outage = outage(rng, cfg);
+    vec![
+        down(t0, first),
+        up(t0 + first_outage, first),
+        down(second_at, second),
+        up(second_at + second_outage, second),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let cfg = CampaignConfig::default();
+        for design in [Design::FatTree, Design::F2Tree] {
+            let a = generate_scenario(design, &mut DetRng::seed_from_u64(7), &cfg).unwrap();
+            let b = generate_scenario(design, &mut DetRng::seed_from_u64(7), &cfg).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = CampaignConfig::default();
+        let a = generate_scenario(Design::FatTree, &mut DetRng::seed_from_u64(1), &cfg).unwrap();
+        let b = generate_scenario(Design::FatTree, &mut DetRng::seed_from_u64(2), &cfg).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        let cfg = CampaignConfig::default();
+        let mut rng = DetRng::seed_from_u64(42);
+        for i in 0..40u64 {
+            let design = if i % 2 == 0 {
+                Design::FatTree
+            } else {
+                Design::F2Tree
+            };
+            let spec = generate_scenario(design, &mut rng, &cfg).unwrap();
+            assert!(!spec.incidents.is_empty());
+            assert!(spec.incidents.len() <= cfg.max_incidents as usize);
+            let schedule = spec.schedule();
+            assert!(schedule.failure_count() >= 1);
+            // Every down event has a matching later up event for its link.
+            for inc in &spec.incidents {
+                for e in inc.events.iter().filter(|e| !e.up) {
+                    assert!(
+                        inc.events.iter().any(|r| r.up && r.link == e.link && r.at > e.at),
+                        "unrepaired link {:?} in {:?}",
+                        e.link,
+                        inc.kind
+                    );
+                }
+                assert!(inc.events.iter().all(|e| e.at > SimTime::ZERO));
+            }
+            // Round-trips through the scenario file format.
+            assert_eq!(ScenarioSpec::parse(&spec.render()).unwrap(), spec);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Runtime invariant oracles.
+//!
+//! The oracles watch an emulated [`Network`] while a failure schedule plays
+//! out and report [`Violation`]s. Four invariant families (DESIGN.md §9):
+//!
+//! 1. **Loop-freedom at quiescence** — once every link is repaired and the
+//!    control plane has drained, walking any monitored flow's forwarding
+//!    chain must terminate at the destination. Transient micro-loops
+//!    *during* reconvergence (the paper's own F²Tree design admits a
+//!    documented two-node ping-pong between backup routes, condition C7)
+//!    are not instant violations; they are counted as broken-connectivity
+//!    time and bounded like blackholes.
+//! 2. **Bounded blackholes** — any interval during which a monitored flow
+//!    has no working forwarding chain must end within the protocol-timer
+//!    budget: `slack + N × (detection + max_spf_hold_observed +
+//!    fib_update)` where `N` is the number of physical link events
+//!    overlapping the interval. Intervals during which source and
+//!    destination were disconnected in the dynamic-routing graph (live,
+//!    OSPF-active links — see [`routably_connected`]) are exempt: no
+//!    amount of reconvergence can forward across a cut the routing
+//!    protocol cannot see around.
+//! 3. **FIB/LSDB consistency at quiescence** — each router's OSPF FIB
+//!    entries must equal a fresh SPF over its own LSDB, and all LSDBs must
+//!    be identical (the latter only if flooding was never partitioned:
+//!    this model has no OSPF database exchange on adjacency-up).
+//! 4. **TCP conservation** — for every tracked transfer, at all times
+//!    `acked ≤ delivered ≤ total`, and after quiescence every transfer
+//!    completes with exactly `total` bytes delivered (no duplicated or
+//!    lost-forever segments).
+
+use std::fmt;
+
+use dcn_emu::Network;
+use dcn_net::{FlowKey, LinkId, NodeId};
+use dcn_routing::{compute_routes, RouteOrigin};
+use dcn_sim::{timers, SimDuration, SimTime};
+
+/// Oracle tuning knobs.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Fixed slack added to every blackhole bound: covers LSA flood
+    /// propagation/processing across the fabric and the event-granularity
+    /// of window sampling. Defaults to one detection delay, the largest
+    /// non-SPF term in the budget.
+    pub slack: SimDuration,
+    /// Replaces the computed per-window blackhole bound outright. Only
+    /// used by tests that need a deliberately broken oracle to prove the
+    /// shrinker finds a minimal reproducer.
+    pub bound_override: Option<SimDuration>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            slack: timers::DETECTION_DELAY,
+            bound_override: None,
+        }
+    }
+}
+
+/// Which invariant a [`Violation`] broke.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A forwarding walk cycled after the network should have quiesced.
+    PersistentLoop,
+    /// A monitored flow was black-holed longer than the timer budget.
+    BlackholeBound,
+    /// A router's FIB disagrees with SPF over its own LSDB at quiescence.
+    FibMismatch,
+    /// Router LSDBs differ at quiescence despite an unpartitioned flood.
+    LsdbDivergence,
+    /// TCP conservation broke (`acked > delivered` or `delivered > total`).
+    TcpConservation,
+    /// A tracked transfer never completed despite full repair and drain.
+    IncompleteTransfer,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::PersistentLoop => "persistent-loop",
+            ViolationKind::BlackholeBound => "blackhole-bound",
+            ViolationKind::FibMismatch => "fib-mismatch",
+            ViolationKind::LsdbDivergence => "lsdb-divergence",
+            ViolationKind::TcpConservation => "tcp-conservation",
+            ViolationKind::IncompleteTransfer => "incomplete-transfer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One oracle violation, with enough context to read the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Simulation time of detection.
+    pub at: SimTime,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// Where a forwarding walk ended up.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// The walk reached the destination over physically-live links.
+    Reached,
+    /// The walk revisited a node (forwarding loop).
+    Loop(NodeId),
+    /// The chosen next-hop link is physically down.
+    DeadLink(LinkId),
+    /// A router had no route for the flow.
+    NoRoute(NodeId),
+}
+
+impl WalkOutcome {
+    /// Whether packets on this chain currently reach the destination.
+    pub fn is_reached(self) -> bool {
+        self == WalkOutcome::Reached
+    }
+}
+
+/// Follows `key`'s forwarding chain hop by hop, honoring each router's
+/// FIB + locally-detected-dead set *and* physical link liveness (an
+/// undetected failure still drops packets in flight).
+pub fn walk(net: &Network, key: &FlowKey, src: NodeId, dst: NodeId) -> WalkOutcome {
+    let topo = net.topology();
+    let Some((uplink, tor)) = topo.neighbors(src).next() else {
+        return WalkOutcome::NoRoute(src);
+    };
+    if !net.link_state(uplink).is_up() {
+        return WalkOutcome::DeadLink(uplink);
+    }
+    let mut visited = vec![false; topo.node_slots()];
+    visited[src.index()] = true;
+    let mut current = tor;
+    loop {
+        if current == dst {
+            return WalkOutcome::Reached;
+        }
+        if visited[current.index()] {
+            return WalkOutcome::Loop(current);
+        }
+        visited[current.index()] = true;
+        let Some(router) = net.router(current) else {
+            // A non-switch mid-path that is not the destination.
+            return WalkOutcome::NoRoute(current);
+        };
+        let Some(hop) = router.forward(key) else {
+            return WalkOutcome::NoRoute(current);
+        };
+        if !net.link_state(hop.link).is_up() {
+            return WalkOutcome::DeadLink(hop.link);
+        }
+        current = hop.node;
+    }
+}
+
+/// Whether `src` can physically reach `dst` over currently-up links,
+/// ignoring routing entirely (BFS).
+pub fn physically_connected(net: &Network, src: NodeId, dst: NodeId) -> bool {
+    connected_by(net, src, dst, |_, _, _, _| true)
+}
+
+/// Whether `src` can reach `dst` through the **dynamic-routing graph**:
+/// physically-up links that OSPF actually routes over (non-passive).
+///
+/// This is the blackhole-exemption predicate. F²Tree's across-links are
+/// OSPF-passive — they carry pre-installed static backup routes but are
+/// invisible to SPF — so a failure combination whose only surviving paths
+/// cross passive links can leave converged OSPF with *no* route even
+/// though the network is physically connected (e.g. one uplink of the
+/// source ToR plus the far ToR–agg link in the destination pod). No
+/// amount of reconvergence heals that; the paper's bounded-recovery claim
+/// covers only failures the routing system can route around.
+pub fn routably_connected(net: &Network, src: NodeId, dst: NodeId) -> bool {
+    // A link is OSPF-active unless a router endpoint marks it passive.
+    // Host links have one non-router endpoint and are always usable
+    // (directly connected routes).
+    connected_by(net, src, dst, |net, link, a, b| {
+        [a, b].into_iter().all(|n| {
+            net.router(n)
+                .map(|r| !r.is_passive(link))
+                .unwrap_or(true)
+        })
+    })
+}
+
+fn connected_by(
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    usable: impl Fn(&Network, LinkId, NodeId, NodeId) -> bool,
+) -> bool {
+    let topo = net.topology();
+    let mut visited = vec![false; topo.node_slots()];
+    let mut queue = std::collections::VecDeque::new();
+    visited[src.index()] = true;
+    queue.push_back(src);
+    while let Some(node) = queue.pop_front() {
+        if node == dst {
+            return true;
+        }
+        for (link, neighbor) in topo.neighbors(node) {
+            if net.link_state(link).is_up()
+                && !visited[neighbor.index()]
+                && usable(net, link, node, neighbor)
+            {
+                visited[neighbor.index()] = true;
+                queue.push_back(neighbor);
+            }
+        }
+    }
+    false
+}
+
+/// Whether the OSPF flood graph (switch-to-switch, non-passive, physically
+/// up links) is connected. When it is not, LSDBs legitimately diverge and
+/// stay diverged after repair — this model, like early OSPF, has no
+/// database exchange on adjacency restoration.
+pub fn flood_graph_connected(net: &Network, switches: &[NodeId]) -> bool {
+    let Some(&start) = switches.first() else {
+        return true;
+    };
+    let topo = net.topology();
+    let mut visited = vec![false; topo.node_slots()];
+    let mut queue = std::collections::VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    let mut seen = 1usize;
+    while let Some(node) = queue.pop_front() {
+        let Some(router) = net.router(node) else {
+            continue;
+        };
+        for (link, neighbor) in topo.neighbors(node) {
+            if net.router(neighbor).is_none()
+                || visited[neighbor.index()]
+                || !net.link_state(link).is_up()
+                || router.is_passive(link)
+            {
+                continue;
+            }
+            visited[neighbor.index()] = true;
+            seen += 1;
+            queue.push_back(neighbor);
+        }
+    }
+    seen == switches.len()
+}
+
+/// The per-window blackhole budget: `slack + n_events × (detection +
+/// max_hold + fib_update)`, with `n_events` clamped to at least one.
+///
+/// Derivation (DESIGN.md §9): each physical event overlapping the window
+/// costs at most one detection delay before the adjacent routers notice,
+/// one SPF scheduling delay — which under churn is the *observed* throttle
+/// hold, not the 200 ms initial value — and one FIB-update delay before
+/// new routes take effect. Flood propagation and event-sampling
+/// granularity are covered by `slack`.
+pub fn blackhole_bound(cfg: &OracleConfig, n_events: u64, max_hold: SimDuration) -> SimDuration {
+    if let Some(bound) = cfg.bound_override {
+        return bound;
+    }
+    let per_event = timers::DETECTION_DELAY + max_hold.max(timers::SPF_INITIAL_DELAY)
+        + timers::FIB_UPDATE_DELAY;
+    cfg.slack + per_event * n_events.max(1)
+}
+
+/// Renders a router's OSPF FIB entries and a fresh SPF over its LSDB as
+/// comparable sorted line sets, returning the first divergence if any.
+pub fn fib_spf_divergence(net: &Network, node: NodeId) -> Option<String> {
+    let router = net.router(node)?;
+    let expected = sorted_route_lines(
+        compute_routes(router.lsdb(), node)
+            .iter()
+            .filter(|r| r.origin == RouteOrigin::Ospf),
+    );
+    let actual = sorted_route_lines(
+        router
+            .fib()
+            .routes()
+            .iter()
+            .filter(|r| r.origin == RouteOrigin::Ospf),
+    );
+    if expected == actual {
+        return None;
+    }
+    let missing: Vec<_> = expected.iter().filter(|l| !actual.contains(l)).collect();
+    let extra: Vec<_> = actual.iter().filter(|l| !expected.contains(l)).collect();
+    Some(format!(
+        "{node}: {} FIB route(s) missing vs SPF {missing:?}, {} extra {extra:?}",
+        missing.len(),
+        extra.len()
+    ))
+}
+
+fn sorted_route_lines<'a>(routes: impl Iterator<Item = &'a dcn_routing::Route>) -> Vec<String> {
+    let mut lines: Vec<String> = routes
+        .map(|r| format!("{} metric={} hops={:?}", r.prefix, r.metric, r.next_hops))
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// Renders a router's LSDB as a canonical string (origin, seq, sorted
+/// adjacencies, prefixes) for cross-router identity comparison.
+pub fn lsdb_fingerprint(net: &Network, node: NodeId) -> String {
+    let Some(router) = net.router(node) else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for lsa in router.lsdb().iter() {
+        let mut adj: Vec<String> = lsa
+            .neighbors
+            .iter()
+            .map(|a| format!("{}@{}", a.neighbor, a.link))
+            .collect();
+        adj.sort();
+        let mut prefixes: Vec<String> = lsa.prefixes.iter().map(|p| p.to_string()).collect();
+        prefixes.sort();
+        out.push_str(&format!(
+            "{} seq={} adj={:?} pfx={:?}\n",
+            lsa.origin, lsa.seq, adj, prefixes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_scales_with_events_and_hold() {
+        let cfg = OracleConfig::default();
+        let one = blackhole_bound(&cfg, 1, SimDuration::ZERO);
+        // slack (60ms) + detection (60ms) + initial SPF (200ms) + FIB (10ms).
+        assert_eq!(one.as_millis(), 330);
+        let two = blackhole_bound(&cfg, 2, SimDuration::ZERO);
+        assert_eq!(two.as_millis(), 600);
+        // Observed hold above the initial delay widens the budget.
+        let held = blackhole_bound(&cfg, 1, SimDuration::from_millis(800));
+        assert_eq!(held.as_millis(), 930);
+        // Zero events is clamped to one.
+        assert_eq!(blackhole_bound(&cfg, 0, SimDuration::ZERO), one);
+    }
+
+    #[test]
+    fn bound_override_wins() {
+        let cfg = OracleConfig {
+            bound_override: Some(SimDuration::ZERO),
+            ..OracleConfig::default()
+        };
+        assert_eq!(
+            blackhole_bound(&cfg, 5, SimDuration::from_millis(999)),
+            SimDuration::ZERO
+        );
+    }
+}

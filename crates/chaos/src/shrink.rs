@@ -1,0 +1,130 @@
+//! Minimal-reproducer shrinking.
+//!
+//! When a campaign scenario trips an oracle, the full scenario can carry
+//! several unrelated incidents. [`shrink_scenario`] runs ddmin — the
+//! classic delta-debugging binary search over the event schedule — at
+//! incident granularity: it repeatedly bisects the incident list and keeps
+//! any complement that still reproduces, converging on a 1-minimal
+//! subset (removing any single remaining incident stops the violation).
+//!
+//! Incident granularity (rather than raw events) keeps the shrunk
+//! scenario well-formed: dropping a repair event while keeping its
+//! failure would manufacture a permanently-dead link the original
+//! campaign never contained.
+
+use crate::scenario::ScenarioSpec;
+
+/// Shrinks `spec` to a 1-minimal incident subset under `reproduces`.
+///
+/// `reproduces` must be deterministic and is assumed to hold for the full
+/// `spec` (if it does not, the full spec is returned unchanged). The
+/// returned spec always still satisfies `reproduces` when the input did.
+pub fn shrink_scenario<F>(spec: &ScenarioSpec, mut reproduces: F) -> ScenarioSpec
+where
+    F: FnMut(&ScenarioSpec) -> bool,
+{
+    if !reproduces(spec) {
+        return spec.clone();
+    }
+    let mut current: Vec<usize> = (0..spec.incidents.len()).collect();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut lo = 0;
+        while lo < current.len() {
+            let hi = (lo + chunk).min(current.len());
+            let complement: Vec<usize> = current[..lo]
+                .iter()
+                .chain(current[hi..].iter())
+                .copied()
+                .collect();
+            if !complement.is_empty() && reproduces(&spec.with_incidents(&complement)) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            lo = hi;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    spec.with_incidents(&current)
+}
+
+#[cfg(test)]
+mod tests {
+    use dcn_failure::FailureEvent;
+    use dcn_net::LinkId;
+    use dcn_sim::{SimDuration, SimTime};
+    use f2tree::Design;
+
+    use super::*;
+    use crate::scenario::{Incident, IncidentKind, ScenarioSpec};
+
+    /// A spec with `n` incidents, each failing link `i` (so predicates can
+    /// recognize incidents by the links present).
+    fn spec_with(n: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            design: Design::FatTree,
+            k: 4,
+            hosts_per_tor: 1,
+            incidents: (0..n)
+                .map(|i| Incident {
+                    kind: IncidentKind::SingleLink,
+                    events: vec![FailureEvent {
+                        at: SimTime::ZERO + SimDuration::from_millis(100 * (i as u64 + 1)),
+                        link: LinkId::new(i as u32),
+                        up: false,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    fn has_link(spec: &ScenarioSpec, idx: usize) -> bool {
+        spec.incidents
+            .iter()
+            .any(|i| i.events.iter().any(|e| e.link == LinkId::new(idx as u32)))
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        let spec = spec_with(8);
+        let shrunk = shrink_scenario(&spec, |s| has_link(s, 5));
+        assert_eq!(shrunk.incidents.len(), 1);
+        assert!(has_link(&shrunk, 5));
+    }
+
+    #[test]
+    fn shrinks_to_interacting_pair() {
+        let spec = spec_with(7);
+        let shrunk = shrink_scenario(&spec, |s| has_link(s, 1) && has_link(s, 6));
+        assert_eq!(shrunk.incidents.len(), 2);
+        assert!(has_link(&shrunk, 1) && has_link(&shrunk, 6));
+    }
+
+    #[test]
+    fn non_reproducing_spec_is_returned_unchanged() {
+        let spec = spec_with(4);
+        let shrunk = shrink_scenario(&spec, |_| false);
+        assert_eq!(shrunk, spec);
+    }
+
+    #[test]
+    fn single_incident_is_already_minimal() {
+        let spec = spec_with(1);
+        let mut calls = 0;
+        let shrunk = shrink_scenario(&spec, |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(shrunk, spec);
+        assert_eq!(calls, 1);
+    }
+}

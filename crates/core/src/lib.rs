@@ -42,6 +42,7 @@ mod config;
 mod other;
 pub mod quagga;
 mod rewire;
+pub mod testbed;
 mod wide;
 
 pub use analysis::{immediate_backup_links, layer_backup_summary, BackupSummary};
@@ -50,4 +51,5 @@ pub use config::{
 };
 pub use other::{f2_leaf_spine, f2_vl2, F2Network};
 pub use rewire::{rewire_fat_tree, F2TreeNetwork};
+pub use testbed::{Design, PathAnatomy, TestBed, TestBedError};
 pub use wide::{build_wide_f2tree, wide_backup_routes, WideF2TreeNetwork, WideRing};

@@ -45,4 +45,4 @@ mod config;
 mod network;
 
 pub use config::{ControlPlaneMode, EmuConfig, EmuConfigBuilder};
-pub use network::{DropCounters, FlowId, Network, RequestId, UdpProbeReport};
+pub use network::{DropCounters, FlowId, Network, RequestId, TcpFlowStats, UdpProbeReport};

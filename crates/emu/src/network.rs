@@ -192,6 +192,10 @@ pub struct Network {
     delivered_packets: u64,
     /// Centralized mode: a controller recomputation is already pending.
     recompute_pending: bool,
+    /// Bumped whenever forwarding-relevant state may have changed (a
+    /// physical link transition, a local detection, or a FIB install), so
+    /// external invariant checkers re-inspect only when needed.
+    fib_epoch: u64,
 }
 
 impl Network {
@@ -284,6 +288,7 @@ impl Network {
             drops: DropCounters::default(),
             delivered_packets: 0,
             recompute_pending: false,
+            fib_epoch: 0,
         })
     }
 
@@ -568,13 +573,33 @@ impl Network {
 
     /// Runs every event up to and including `end`.
     pub fn run_until(&mut self, end: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > end {
-                break;
-            }
-            let (now, event) = self.queue.pop().expect("peeked");
-            self.dispatch(now, event);
+        while self.step(end).is_some() {}
+    }
+
+    /// Processes exactly one event, if the next event is at or before
+    /// `end`, and returns its time. Returns `None` when the queue is empty
+    /// or the next event lies beyond `end` (simulation state untouched).
+    ///
+    /// This is the observation seam the chaos engine's invariant oracles
+    /// use: after each step, [`Self::fib_epoch`] tells whether forwarding
+    /// state may have changed since the previous step.
+    pub fn step(&mut self, end: SimTime) -> Option<SimTime> {
+        let at = self.queue.peek_time()?;
+        if at > end {
+            return None;
         }
+        let (now, event) = self.queue.pop().expect("peeked");
+        self.dispatch(now, event);
+        Some(now)
+    }
+
+    /// A counter that advances whenever forwarding-relevant state may have
+    /// changed: physical link transitions, local failure detections (which
+    /// drive fast-reroute fall-through), and FIB installs (distributed or
+    /// controller-pushed). Unchanged between two [`Self::step`] calls ⇒
+    /// every FIB lookup answers exactly as before.
+    pub fn fib_epoch(&self) -> u64 {
+        self.fib_epoch
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
@@ -596,6 +621,7 @@ impl Network {
                 self.on_link_dir_change(now, link, from, up)
             }
             Event::Detect { node, link, up } => {
+                self.fib_epoch += 1;
                 if let Some(router) = self.routers[node.index()].as_mut() {
                     let actions = router.on_link_detected(now, link, up);
                     match self.config.control_plane {
@@ -633,6 +659,7 @@ impl Network {
                 generation,
                 routes,
             } => {
+                self.fib_epoch += 1;
                 self.routers[node.index()]
                     .as_mut()
                     .expect("install at a switch")
@@ -665,6 +692,7 @@ impl Network {
             }
             Event::ControllerRecompute => self.on_controller_recompute(now),
             Event::ControllerInstall { node, routes } => {
+                self.fib_epoch += 1;
                 self.routers[node.index()]
                     .as_mut()
                     .expect("install at a switch")
@@ -721,6 +749,7 @@ impl Network {
     }
 
     fn on_link_change(&mut self, now: SimTime, link: LinkId, up: bool) {
+        self.fib_epoch += 1;
         self.links[link.index()].set_up(up);
         let (a, b) = self.topo.link(link).endpoints();
         for node in [a, b] {
@@ -734,6 +763,7 @@ impl Network {
     }
 
     fn on_link_dir_change(&mut self, now: SimTime, link: LinkId, from: NodeId, up: bool) {
+        self.fib_epoch += 1;
         let entry = self.topo.link(link);
         let dir = if from == entry.a() {
             Direction::AToB
@@ -1073,6 +1103,24 @@ impl Network {
         self.flows[flow.index()].delivered_fired
     }
 
+    /// Byte-conservation counters of a TCP flow, or `None` for non-TCP
+    /// flows. The invariants the chaos oracles assert over these:
+    /// `acked ≤ delivered` (ACKs originate from in-order delivery) and,
+    /// for fixed-size transfers, `delivered ≤ total_bytes` (the receiver
+    /// never conjures bytes the application did not send).
+    pub fn tcp_flow_stats(&self, flow: FlowId) -> Option<TcpFlowStats> {
+        let f = &self.flows[flow.index()];
+        let sender = f.sender.as_ref()?;
+        let receiver = f.receiver.as_ref()?;
+        Some(TcpFlowStats {
+            total_bytes: f.total_bytes,
+            acked: sender.acked(),
+            delivered: receiver.delivered(),
+            retransmits: sender.retransmits(),
+            complete: sender.is_complete(),
+        })
+    }
+
     /// A fixed-size flow's completion time (start to full delivery), if
     /// it has finished.
     pub fn flow_completion_time(&self, flow: FlowId) -> Option<dcn_sim::SimDuration> {
@@ -1125,6 +1173,22 @@ impl std::fmt::Debug for Network {
             .field("events", &self.queue.processed())
             .finish()
     }
+}
+
+/// Byte-conservation counters of one TCP flow (sender and receiver side),
+/// captured by [`Network::tcp_flow_stats`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TcpFlowStats {
+    /// Application bytes of a fixed-size transfer (0 = unbounded/paced).
+    pub total_bytes: u64,
+    /// Cumulative bytes the sender has seen acknowledged.
+    pub acked: u64,
+    /// Cumulative in-order bytes the receiver has delivered upward.
+    pub delivered: u64,
+    /// Sender retransmission count (RTO + fast retransmit).
+    pub retransmits: u64,
+    /// Whether the sender considers the transfer complete.
+    pub complete: bool,
 }
 
 /// Report for a UDP probe flow.

@@ -4,6 +4,7 @@
 //! repro [--quick] [--out DIR] [--workers N]
 //!       [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
 //!        c7x|ablation|centralized|unidirectional|all]
+//! repro chaos [--seed N] [--campaigns M] [--workers W] [--out DIR]
 //! ```
 //!
 //! With no target, everything runs. `--quick` shrinks the Fig. 6
@@ -11,8 +12,19 @@
 //! `--workers N` sets the sweep-engine worker count (default: the
 //! `DCN_WORKERS` env var, else all cores — the output is byte-identical
 //! for every value).
+//!
+//! `repro chaos` runs a deterministic failure-injection campaign under
+//! the `dcn-chaos` invariant oracles instead of the paper artifacts:
+//! `--campaigns M` scenarios (default 200) are generated from `--seed N`
+//! (default 20150701), alternating designs, and run on the sweep worker
+//! pool. Exit status 0 means every invariant held; on a violation the
+//! offending scenario is shrunk to a minimal reproducer, printed (and
+//! written to `--out DIR` as a replayable `.scenario` file), and the exit
+//! status is 1.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+use dcn_chaos::{run_chaos, run_scenario, shrink_scenario, ChaosConfig};
 
 use dcn_failure::Condition;
 use dcn_sweep::Workers;
@@ -62,7 +74,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" || *a == "--workers" {
+            if *a == "--out" || *a == "--workers" || *a == "--seed" || *a == "--campaigns" {
                 skip_next = true;
                 return false;
             }
@@ -70,6 +82,12 @@ fn main() {
         })
         .map(String::as_str)
         .collect();
+
+    if targets.contains(&"chaos") {
+        run_chaos_cli(&args, workers, out_dir.as_deref());
+        return;
+    }
+
     let want = |name: &str| {
         if name == "fig6seeds" {
             // Opt-in only: 20 full workload runs.
@@ -193,4 +211,58 @@ fn main() {
         }
         println!();
     }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The `repro chaos` subcommand: seeded invariant-oracle campaigns with
+/// minimal-reproducer shrinking on failure.
+fn run_chaos_cli(args: &[String], workers: Workers, out_dir: Option<&Path>) {
+    let mut cfg = ChaosConfig::default();
+    if let Some(seed) = parse_flag(args, "--seed") {
+        cfg.master_seed = seed;
+    }
+    if let Some(campaigns) = parse_flag(args, "--campaigns") {
+        cfg.campaigns = campaigns;
+    }
+    let report = match run_chaos(&cfg, workers) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("chaos: testbed error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.render());
+    if report.total_violations() == 0 {
+        return;
+    }
+    let Some(bad) = report.violating().next() else {
+        return;
+    };
+    eprintln!("shrinking campaign #{} to a minimal reproducer...", bad.index);
+    let engine = cfg.engine.clone();
+    let minimal = shrink_scenario(&bad.spec, |s| {
+        run_scenario(s, &engine)
+            .map(|o| !o.violations.is_empty())
+            .unwrap_or(false)
+    });
+    println!(
+        "minimal reproducer ({} of {} incident(s)):",
+        minimal.incidents.len(),
+        bad.spec.incidents.len()
+    );
+    print!("{}", minimal.render());
+    if let Some(dir) = out_dir {
+        let path = dir.join(format!("chaos-minimal-{}.scenario", bad.index));
+        match std::fs::write(&path, minimal.render()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("chaos: failed to write {}: {e}", path.display()),
+        }
+    }
+    std::process::exit(1);
 }

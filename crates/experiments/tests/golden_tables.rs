@@ -1,0 +1,81 @@
+//! Golden-file regression tests for the paper tables.
+//!
+//! Each test renders a table exactly as `repro` would and compares it
+//! byte for byte against a checked-in fixture under `tests/golden/`. Any
+//! drift in the simulation, the formatting, or the underlying numbers
+//! fails the test with a diff-friendly message.
+//!
+//! To regenerate the fixtures after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p f2tree-experiments --test golden_tables
+//! ```
+//!
+//! and review the resulting `git diff` like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use f2tree_experiments::conditions::format_table4;
+use f2tree_experiments::table1::{format_table1, run_table1};
+use f2tree_experiments::table2::{format_table2, run_table2};
+use f2tree_experiments::testbed::{format_table3, run_table3, TestbedConfig};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` to the fixture, or rewrites the fixture when
+/// `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its fixture; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Table I (failure-recovery properties) at every size `repro` prints.
+#[test]
+fn table1_matches_golden() {
+    let mut out = String::new();
+    for n in [8u32, 16, 48, 128] {
+        writeln!(out, "{}", format_table1(n, &run_table1(n))).unwrap();
+    }
+    check_golden("table1.txt", &out);
+}
+
+/// Table II (path dilation) at the paper's k=8.
+#[test]
+fn table2_matches_golden() {
+    let mut out = String::new();
+    writeln!(out, "{}", format_table2(&run_table2(8))).unwrap();
+    check_golden("table2.txt", &out);
+}
+
+/// Table III (testbed recovery times) — runs the full k=4 testbed
+/// emulation for both designs, so this is the slowest golden test.
+#[test]
+fn table3_matches_golden() {
+    let results = run_table3(&TestbedConfig::default());
+    let mut out = String::new();
+    writeln!(out, "{}", format_table3(&results)).unwrap();
+    check_golden("table3.txt", &out);
+}
+
+/// Table IV (failure scenarios) is a pure rendering of the C1–C7 specs.
+#[test]
+fn table4_matches_golden() {
+    let mut out = String::new();
+    writeln!(out, "{}", format_table4()).unwrap();
+    check_golden("table4.txt", &out);
+}

@@ -31,6 +31,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/emu/src",
     "crates/core/src",
     "crates/sweep/src",
+    "crates/chaos/src",
 ];
 
 /// The only files allowed to define protocol timer constants:
