@@ -6,8 +6,11 @@
 # 1. release build of every workspace member (warnings from the
 #    [workspace.lints] table are part of the build),
 # 2. the whole test suite (unit + integration + property + doc tests),
-# 3. the in-tree static-analysis pass (determinism / panic-safety /
-#    timer-constant rules; see DESIGN.md §7 and crates/xtask/),
+# 3. the in-tree static-analysis pass (token rules plus the AST/dataflow
+#    rule packs; see DESIGN.md §7 and crates/xtask/) — run twice in
+#    --format json to prove the report is well-formed and byte-stable,
+#    then once in text mode as the actual gate (strict ratchet: stale
+#    allowlist budgets fail),
 # 4. a parallel sweep smoke test: the Fig. 7 grid through the sweep
 #    engine on 2 workers (exercises the worker pool end to end),
 # 5. a fixed-seed chaos smoke campaign: 20 generated failure scenarios
@@ -23,7 +26,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo run -p xtask -- lint"
+echo "==> cargo run -p xtask -- lint (json well-formed + byte-stable, then the gate)"
+cargo run -q --release -p xtask -- lint --format json > target/lint-1.json || true
+cargo run -q --release -p xtask -- lint --format json > target/lint-2.json || true
+cargo run -q --release -p xtask -- check-json target/lint-1.json
+cmp target/lint-1.json target/lint-2.json
 cargo run -q --release -p xtask -- lint
 
 echo "==> repro fig7 --workers 2 (sweep engine smoke test)"

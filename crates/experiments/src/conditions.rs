@@ -39,7 +39,9 @@ impl Default for ConditionConfig {
             fail_at_ms: 100,
             horizon_ms: 2000,
             bin_ms: 20,
-            delay_window_ms: 10,
+            // Fig. 5 presentation window; coincides with FIB_UPDATE_DELAY's
+            // magnitude but is not a protocol timer.
+            delay_window_ms: 10, // lint:allow(timer-provenance)
         }
     }
 }

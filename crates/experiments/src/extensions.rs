@@ -14,7 +14,7 @@
 use dcn_emu::{ControlPlaneMode, EmuConfig, Network};
 use dcn_net::Layer;
 use dcn_routing::{RouterConfig, ThrottleConfig};
-use dcn_sim::{SimDuration, SimTime};
+use dcn_sim::{timers, SimDuration, SimTime};
 use f2tree::{build_wide_f2tree, wide_backup_routes};
 use serde::{Deserialize, Serialize};
 
@@ -260,9 +260,9 @@ pub fn run_centralized(design: Design, compute_ms: u64) -> CentralizedResult {
     let fail_at = ms(100);
     let config = EmuConfig::builder()
         .control_plane(ControlPlaneMode::Centralized {
-            report_delay: SimDuration::from_millis(5),
+            report_delay: timers::CONTROLLER_REPORT_DELAY,
             compute_delay: SimDuration::from_millis(compute_ms),
-            push_delay: SimDuration::from_millis(5),
+            push_delay: timers::CONTROLLER_PUSH_DELAY,
         })
         .build();
     // Invariant: the k=8 scales used here always build.

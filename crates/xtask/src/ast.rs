@@ -1,0 +1,326 @@
+//! The lightweight Rust AST produced by [`crate::parser`].
+//!
+//! This is deliberately *not* a faithful Rust grammar: it models exactly
+//! what the semantic rule packs need — item structure (with attributes,
+//! so `#[cfg(test)]` scoping is precise), `use` declarations for symbol
+//! resolution, and function bodies as expression trees rich enough for
+//! intraprocedural dataflow (calls, method calls, paths, literals,
+//! bindings, control flow). Anything the parser cannot shape lands in
+//! [`ExprKind::Unknown`] — the analyses treat unknown expressions
+//! conservatively.
+
+use crate::diag::Span;
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// An attribute, flattened to the identifiers it contains
+/// (`#[cfg(not(test))]` → `["cfg", "not", "test"]`).
+#[derive(Debug, Clone)]
+pub struct Attr {
+    pub idents: Vec<String>,
+}
+
+impl Attr {
+    /// Does this attribute gate the item to test builds?
+    /// Matches `#[test]`, `#[bench]`, and `#[cfg(...)]` whose argument
+    /// mentions `test` outside a `not(...)`.
+    pub fn is_test_gate(&self) -> bool {
+        match self.idents.first().map(String::as_str) {
+            Some("test") | Some("bench") => true,
+            Some("cfg") => {
+                self.idents.iter().any(|i| i == "test")
+                    && !self.idents.iter().any(|i| i == "not")
+            }
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct Item {
+    pub span: Span,
+    pub attrs: Vec<Attr>,
+    pub kind: ItemKind,
+}
+
+impl Item {
+    pub fn is_test_gated(&self) -> bool {
+        self.attrs.iter().any(Attr::is_test_gate)
+    }
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    /// `use` declaration, flattened: one entry per leaf path, with the
+    /// name it binds locally (the alias, or the last segment).
+    Use(Vec<UseEntry>),
+    Fn(FnItem),
+    /// `mod name { ... }` (inline) or `mod name;` (out of line).
+    Mod {
+        name: String,
+        items: Option<Vec<Item>>,
+    },
+    /// `impl [Trait for] Type { ... }`.
+    Impl {
+        type_name: String,
+        trait_name: Option<String>,
+        items: Vec<Item>,
+    },
+    Const {
+        name: String,
+        init: Option<Expr>,
+    },
+    Static {
+        name: String,
+        init: Option<Expr>,
+    },
+    /// struct / enum / trait-with-no-fns / type alias / macro_rules /
+    /// anything else we only skip over. `name` kept for debugging.
+    Other {
+        name: Option<String>,
+    },
+}
+
+#[derive(Debug)]
+pub struct UseEntry {
+    /// Full path segments, e.g. `["dcn_sim", "timers"]`.
+    pub path: Vec<String>,
+    /// Local binding name (`timers`, or the `as` alias).
+    pub alias: String,
+}
+
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Parameter binding names, in order (`self` included when present).
+    pub params: Vec<String>,
+    /// `None` for trait-method declarations without a default body.
+    pub body: Option<Block>,
+}
+
+#[derive(Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let {
+        span: Span,
+        /// Names bound by the pattern (overapproximate).
+        names: Vec<String>,
+        init: Option<Expr>,
+    },
+    Expr(Expr),
+    Item(Item),
+}
+
+#[derive(Debug)]
+pub struct Expr {
+    pub span: Span,
+    pub kind: ExprKind,
+}
+
+#[derive(Debug)]
+pub enum ExprKind {
+    /// `a::b::c`, `x`, `self.len` is Field(Path(self), len) instead.
+    Path(Vec<String>),
+    Lit(Lit),
+    /// `callee(args)` — callee is usually a Path.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    /// `recv.method(args)`.
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
+    /// `recv.field` / `recv.0`.
+    Field {
+        recv: Box<Expr>,
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        recv: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// Any binary operator; `op` is its spelling (`+`, `&&`, `==`, ...).
+    Binary {
+        op: &'static str,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `-x`, `!x`, `*x`, `&x`.
+    Unary(Box<Expr>),
+    /// `place = value` and compound assignments.
+    Assign {
+        place: Box<Expr>,
+        value: Box<Expr>,
+    },
+    Block(Block),
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Expr>,
+    },
+    /// while / for / loop; `head` is the condition or iterated expr.
+    Loop {
+        head: Option<Box<Expr>>,
+        body: Block,
+    },
+    Closure {
+        params: Vec<String>,
+        body: Box<Expr>,
+    },
+    /// `S { field: expr, .. }` — path retained, field initializers kept.
+    Struct {
+        path: Vec<String>,
+        fields: Vec<(String, Expr)>,
+    },
+    /// Tuple or array literal (also `(e)` groups of one).
+    Tuple(Vec<Expr>),
+    Return(Option<Box<Expr>>),
+    /// `name!(...)` — inner expressions parsed best-effort.
+    MacroCall {
+        path: Vec<String>,
+        args: Vec<Expr>,
+    },
+    /// `expr?`.
+    Try(Box<Expr>),
+    /// Reference or dereference of an inner expr (kept for taint flow).
+    Ref(Box<Expr>),
+    /// Anything the parser skipped over.
+    Unknown,
+}
+
+#[derive(Debug)]
+pub enum Lit {
+    /// Folded value (None when float/overflow) and raw spelling.
+    Int(Option<u64>, String),
+    /// String/char/byte literal.
+    Other,
+    Bool(bool),
+}
+
+impl Expr {
+    pub fn unknown(span: Span) -> Expr {
+        Expr {
+            span,
+            kind: ExprKind::Unknown,
+        }
+    }
+
+    /// The integer value of this expression when it is a plain literal.
+    pub fn as_int_lit(&self) -> Option<u64> {
+        match &self.kind {
+            ExprKind::Lit(Lit::Int(v, _)) => *v,
+            _ => None,
+        }
+    }
+
+    /// The path segments when this expression is a bare path.
+    pub fn as_path(&self) -> Option<&[String]> {
+        match &self.kind {
+            ExprKind::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Walks this expression tree, calling `f` on every node
+    /// (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Path(_) | ExprKind::Lit(_) | ExprKind::Unknown => {}
+            ExprKind::Call { callee, args } => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Field { recv, .. } => recv.walk(f),
+            ExprKind::Index { recv, index } => {
+                recv.walk(f);
+                index.walk(f);
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Unary(e) | ExprKind::Try(e) | ExprKind::Ref(e) => e.walk(f),
+            ExprKind::Assign { place, value } => {
+                place.walk(f);
+                value.walk(f);
+            }
+            ExprKind::Block(b) => walk_block(b, f),
+            ExprKind::If { cond, then, els } => {
+                cond.walk(f);
+                walk_block(then, f);
+                if let Some(e) = els {
+                    e.walk(f);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                scrutinee.walk(f);
+                for a in arms {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Loop { head, body } => {
+                if let Some(h) = head {
+                    h.walk(f);
+                }
+                walk_block(body, f);
+            }
+            ExprKind::Closure { body, .. } => body.walk(f),
+            ExprKind::Struct { fields, .. } => {
+                for (_, e) in fields {
+                    e.walk(f);
+                }
+            }
+            ExprKind::Tuple(es) | ExprKind::MacroCall { args: es, .. } => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            ExprKind::Return(e) => {
+                if let Some(e) = e {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+}
+
+/// Walks every expression in a block (pre-order), including nested items'
+/// bodies NOT — nested items are separate functions for analysis.
+pub fn walk_block<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    e.walk(f);
+                }
+            }
+            Stmt::Expr(e) => e.walk(f),
+            Stmt::Item(_) => {}
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! Intraprocedural taint dataflow with call-graph function summaries.
+//!
+//! The lattice is a 4-bit taint set: wall clock, hash-iteration order,
+//! OS entropy, thread id. Each function gets a summary — the taint its
+//! return value carries unconditionally (`ret_always`), and whether
+//! argument taint can reach the return value (`propagates`). Summaries
+//! are computed to a fixpoint over the whole workspace (the lattice is
+//! finite and evaluation is union-only, so the iteration is monotone and
+//! terminates).
+//!
+//! Known approximations, all deliberate:
+//! - field-insensitive: struct fields neither hold nor launder taint
+//!   (hash containers stored in fields are invisible — acceptable here
+//!   because the determinism scope bans hash containers textually);
+//! - pattern-insensitive: every name bound by a pattern receives the
+//!   whole initializer's taint;
+//! - method calls resolve by name across all workspace impls (union of
+//!   candidate summaries).
+//!
+//! An inline `// lint:allow(determinism)` or
+//! `// lint:allow(determinism-taint)` waiver on a source line kills the
+//! taint at its origin: the sweep pool's wall-clock observability relies
+//! on this.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::resolve::{qualify, CrateMap, FnTable, SourceFile};
+
+pub const T_WALL: u8 = 1 << 0;
+pub const T_HASH: u8 = 1 << 1;
+pub const T_ENTROPY: u8 = 1 << 2;
+pub const T_THREAD: u8 = 1 << 3;
+pub const T_ALL: u8 = T_WALL | T_HASH | T_ENTROPY | T_THREAD;
+
+/// Human description of a taint set: "the wall clock + OS entropy".
+pub fn taint_kinds(t: u8) -> String {
+    let mut parts = Vec::new();
+    if t & T_WALL != 0 {
+        parts.push("the wall clock");
+    }
+    if t & T_HASH != 0 {
+        parts.push("hash-iteration order");
+    }
+    if t & T_ENTROPY != 0 {
+        parts.push("OS entropy");
+    }
+    if t & T_THREAD != 0 {
+        parts.push("a thread id");
+    }
+    parts.join(" + ")
+}
+
+/// Taint a call to `q` (a qualified path) introduces by itself.
+pub fn intrinsic_source(q: &[String]) -> u8 {
+    let Some(last) = q.last() else { return 0 };
+    let prev = q.len().checked_sub(2).and_then(|i| q.get(i));
+    let prev = prev.map(String::as_str);
+    match (prev, last.as_str()) {
+        (Some("Instant"), "now") | (Some("SystemTime"), "now") => T_WALL,
+        (_, "thread_rng") => T_ENTROPY,
+        (Some("rand"), "random") => T_ENTROPY,
+        (_, "from_entropy") => T_ENTROPY,
+        (Some("thread"), "current") => T_THREAD,
+        _ => {
+            if q.iter().any(|s| s == "OsRng" || s == "RandomState") {
+                T_ENTROPY
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// Is this intrinsic source already flagged by the token-level
+/// `determinism` rule (so the taint pack must not double-report it)?
+pub fn token_rule_covers(q: &[String]) -> bool {
+    let Some(last) = q.last() else { return false };
+    let prev = q.len().checked_sub(2).and_then(|i| q.get(i));
+    let prev = prev.map(String::as_str);
+    matches!(
+        (prev, last.as_str()),
+        (Some("Instant"), "now")
+            | (Some("SystemTime"), "now")
+            | (_, "thread_rng")
+            | (Some("rand"), "random")
+    )
+}
+
+/// Methods whose result observes a hash container's iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Per-function taint summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// Taint the return value carries regardless of arguments.
+    pub ret_always: u8,
+    /// Can argument taint reach the return value?
+    pub propagates: bool,
+}
+
+/// Abstract value: taint set plus "is a hash container" flag.
+#[derive(Debug, Clone, Copy, Default)]
+struct Val {
+    taint: u8,
+    hash: bool,
+}
+
+impl Val {
+    fn join(self, other: Val) -> Val {
+        Val {
+            taint: self.taint | other.taint,
+            hash: self.hash || other.hash,
+        }
+    }
+}
+
+pub struct Evaluator<'a> {
+    files: &'a [SourceFile],
+    table: &'a FnTable<'a>,
+    crates: &'a CrateMap,
+    pub summaries: Vec<Summary>,
+}
+
+struct EvalCtx {
+    env: BTreeMap<String, Val>,
+    ret: u8,
+    file_idx: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(
+        files: &'a [SourceFile],
+        table: &'a FnTable<'a>,
+        crates: &'a CrateMap,
+    ) -> Evaluator<'a> {
+        Evaluator {
+            files,
+            table,
+            crates,
+            summaries: vec![Summary::default(); table.fns.len()],
+        }
+    }
+
+    /// Iterates function summaries to a fixpoint (capped at 20 rounds;
+    /// the lattice height makes convergence much earlier in practice).
+    pub fn run_fixpoint(&mut self) {
+        for _ in 0..20 {
+            let mut changed = false;
+            for id in 0..self.table.fns.len() {
+                let clean = self.eval_fn(id, 0);
+                let full = self.eval_fn(id, T_ALL);
+                let new = Summary {
+                    ret_always: clean,
+                    propagates: full != clean,
+                };
+                if self.summaries.get(id) != Some(&new) {
+                    if let Some(slot) = self.summaries.get_mut(id) {
+                        *slot = new;
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Return-value taint of function `id` when every parameter carries
+    /// `param_taint`.
+    fn eval_fn(&self, id: usize, param_taint: u8) -> u8 {
+        let Some(decl) = self.table.fns.get(id) else {
+            return 0;
+        };
+        let Some(body) = &decl.item.body else {
+            return 0;
+        };
+        let mut ctx = EvalCtx {
+            env: BTreeMap::new(),
+            ret: 0,
+            file_idx: decl.file_idx,
+        };
+        for p in &decl.item.params {
+            ctx.env.insert(
+                p.clone(),
+                Val {
+                    taint: param_taint,
+                    hash: false,
+                },
+            );
+        }
+        let tail = self.eval_block(body, &mut ctx);
+        tail.taint | ctx.ret
+    }
+
+    /// Summary for an already-resolved callee set, unioned.
+    pub fn callee_summary(&self, candidates: &[usize]) -> Summary {
+        let mut s = Summary::default();
+        for id in candidates {
+            if let Some(c) = self.summaries.get(*id) {
+                s.ret_always |= c.ret_always;
+                s.propagates |= c.propagates;
+            }
+        }
+        s
+    }
+
+    /// Qualifies a path in the context of file `file_idx`.
+    pub fn qualify_in(&self, file_idx: usize, path: &[String]) -> Vec<String> {
+        match self.files.get(file_idx) {
+            Some(sf) => qualify(path, &sf.krate, &sf.uses, self.crates),
+            None => path.to_vec(),
+        }
+    }
+
+    /// Is a determinism source at `line` of file `file_idx` waived at
+    /// its origin?
+    pub fn source_waived(&self, file_idx: usize, line: u32) -> bool {
+        let Some(sf) = self.files.get(file_idx) else {
+            return false;
+        };
+        sf.lexed.waivers.iter().any(|w| {
+            (w.line == line || w.line + 1 == line)
+                && w.rules.iter().any(|r| {
+                    r == "determinism" || r == "determinism-taint" || r == "all"
+                })
+        })
+    }
+
+    fn eval_block(&self, block: &Block, ctx: &mut EvalCtx) -> Val {
+        let mut last = Val::default();
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { names, init, .. } => {
+                    let v = match init {
+                        Some(e) => self.eval_expr(e, ctx),
+                        None => Val::default(),
+                    };
+                    for n in names {
+                        let merged = ctx.env.get(n).copied().unwrap_or_default().join(v);
+                        ctx.env.insert(n.clone(), merged);
+                    }
+                    last = Val::default();
+                }
+                Stmt::Expr(e) => last = self.eval_expr(e, ctx),
+                Stmt::Item(_) => last = Val::default(),
+            }
+        }
+        last
+    }
+
+    fn eval_expr(&self, e: &Expr, ctx: &mut EvalCtx) -> Val {
+        match &e.kind {
+            ExprKind::Lit(_) | ExprKind::Unknown => Val::default(),
+            ExprKind::Path(p) => {
+                if let (1, Some(name)) = (p.len(), p.first()) {
+                    ctx.env.get(name).copied().unwrap_or_default()
+                } else {
+                    Val::default()
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let mut argv = Val::default();
+                for a in args {
+                    argv = argv.join(self.eval_expr(a, ctx));
+                }
+                if let Some(path) = callee.as_path() {
+                    let q = self.qualify_in(ctx.file_idx, path);
+                    let src = intrinsic_source(&q);
+                    if src != 0 {
+                        if self.source_waived(ctx.file_idx, e.span.line) {
+                            return Val::default();
+                        }
+                        return Val {
+                            taint: src | argv.taint,
+                            hash: false,
+                        };
+                    }
+                    let is_hash_ctor = q.iter().any(|s| s == "HashMap" || s == "HashSet");
+                    let candidates = self.table.resolve_call(&q);
+                    if candidates.is_empty() {
+                        // Unknown callee: conservatively propagate args.
+                        return Val {
+                            taint: argv.taint,
+                            hash: is_hash_ctor,
+                        };
+                    }
+                    let s = self.callee_summary(candidates);
+                    let t = s.ret_always | if s.propagates { argv.taint } else { 0 };
+                    return Val {
+                        taint: t,
+                        hash: is_hash_ctor,
+                    };
+                }
+                let cv = self.eval_expr(callee, ctx);
+                cv.join(argv)
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                let rv = self.eval_expr(recv, ctx);
+                let mut argv = Val::default();
+                for a in args {
+                    argv = argv.join(self.eval_expr(a, ctx));
+                }
+                let mut taint = rv.taint | argv.taint;
+                if rv.hash && HASH_ITER_METHODS.iter().any(|m| m == method) {
+                    if !self.source_waived(ctx.file_idx, e.span.line) {
+                        taint |= T_HASH;
+                    }
+                }
+                let s = self.callee_summary(self.table.resolve_method(method));
+                taint |= s.ret_always;
+                let hash = rv.hash && matches!(method.as_str(), "clone" | "to_owned");
+                Val { taint, hash }
+            }
+            ExprKind::Field { recv, .. } => self.eval_expr(recv, ctx),
+            ExprKind::Index { recv, index } => {
+                let r = self.eval_expr(recv, ctx);
+                let i = self.eval_expr(index, ctx);
+                Val {
+                    taint: r.taint | i.taint,
+                    hash: false,
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                let l = self.eval_expr(lhs, ctx);
+                let r = self.eval_expr(rhs, ctx);
+                Val {
+                    taint: l.taint | r.taint,
+                    hash: false,
+                }
+            }
+            ExprKind::Unary(inner) | ExprKind::Try(inner) | ExprKind::Ref(inner) => {
+                self.eval_expr(inner, ctx)
+            }
+            ExprKind::Assign { place, value } => {
+                let v = self.eval_expr(value, ctx);
+                if let Some(p) = place.as_path() {
+                    if let (1, Some(name)) = (p.len(), p.first()) {
+                        let merged = ctx.env.get(name).copied().unwrap_or_default().join(v);
+                        ctx.env.insert(name.clone(), merged);
+                    }
+                }
+                Val::default()
+            }
+            ExprKind::Block(b) => self.eval_block(b, ctx),
+            ExprKind::If { cond, then, els } => {
+                let mut v = self.eval_expr(cond, ctx);
+                v = v.join(self.eval_block(then, ctx));
+                if let Some(e) = els {
+                    v = v.join(self.eval_expr(e, ctx));
+                }
+                v
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                let mut v = self.eval_expr(scrutinee, ctx);
+                for a in arms {
+                    v = v.join(self.eval_expr(a, ctx));
+                }
+                v
+            }
+            ExprKind::Loop { head, body } => {
+                let mut v = Val::default();
+                if let Some(h) = head {
+                    v = v.join(self.eval_expr(h, ctx));
+                }
+                // Two passes propagate loop-carried taint one level.
+                v = v.join(self.eval_block(body, ctx));
+                v = v.join(self.eval_block(body, ctx));
+                v
+            }
+            ExprKind::Closure { body, .. } => self.eval_expr(body, ctx),
+            ExprKind::Struct { fields, .. } => {
+                let mut v = Val::default();
+                for (_, e) in fields {
+                    v = v.join(self.eval_expr(e, ctx));
+                }
+                Val {
+                    taint: v.taint,
+                    hash: false,
+                }
+            }
+            ExprKind::Tuple(es) | ExprKind::MacroCall { args: es, .. } => {
+                let mut v = Val::default();
+                for e in es {
+                    v = v.join(self.eval_expr(e, ctx));
+                }
+                Val {
+                    taint: v.taint,
+                    hash: false,
+                }
+            }
+            ExprKind::Return(value) => {
+                if let Some(e) = value {
+                    let v = self.eval_expr(e, ctx);
+                    ctx.ret |= v.taint;
+                }
+                Val::default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+    use crate::resolve::SourceFile;
+
+    fn analyze(srcs: &[(&str, &str, &str)]) -> (Vec<SourceFile>, CrateMap) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(rel, krate, src)| {
+                let lexed = lex(src);
+                let ast = parse_file(&lexed);
+                SourceFile::new(rel.to_string(), krate.to_string(), lexed, ast)
+            })
+            .collect();
+        (files, CrateMap::default())
+    }
+
+    fn summary_of(files: &[SourceFile], crates: &CrateMap, name: &str) -> Summary {
+        let table = FnTable::collect(files);
+        let mut ev = Evaluator::new(files, &table, crates);
+        ev.run_fixpoint();
+        let (id, _) = table
+            .fns
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.item.name == name)
+            .expect("fn present");
+        ev.summaries.get(id).copied().expect("summary present")
+    }
+
+    #[test]
+    fn wall_clock_source_taints_return() {
+        let (files, crates) = analyze(&[(
+            "crates/u/src/lib.rs",
+            "u",
+            "use std::time::Instant;\n\
+             pub fn stamp() -> u128 { let t = Instant::now(); t.elapsed().as_millis() }",
+        )]);
+        let s = summary_of(&files, &crates, "stamp");
+        assert_eq!(s.ret_always, T_WALL);
+    }
+
+    #[test]
+    fn taint_flows_transitively_through_calls() {
+        let (files, crates) = analyze(&[(
+            "crates/u/src/lib.rs",
+            "u",
+            "use std::time::Instant;\n\
+             fn inner() -> u64 { Instant::now().elapsed().as_secs() }\n\
+             pub fn outer() -> u64 { inner() + 1 }\n\
+             pub fn indirect() -> u64 { let x = outer(); x * 2 }",
+        )]);
+        assert_eq!(summary_of(&files, &crates, "indirect").ret_always, T_WALL);
+    }
+
+    #[test]
+    fn waiver_kills_taint_at_origin() {
+        let (files, crates) = analyze(&[(
+            "crates/u/src/lib.rs",
+            "u",
+            "use std::time::Instant;\n\
+             pub fn observed() -> u64 {\n\
+                 let t = Instant::now(); // lint:allow(determinism) observability only\n\
+                 t.elapsed().as_secs()\n\
+             }",
+        )]);
+        assert_eq!(summary_of(&files, &crates, "observed").ret_always, 0);
+    }
+
+    #[test]
+    fn hash_iteration_taints_loop_bindings() {
+        let (files, crates) = analyze(&[(
+            "crates/u/src/lib.rs",
+            "u",
+            "use std::collections::HashMap;\n\
+             pub fn first_key(m: &HashMap<u32, u32>) -> u32 {\n\
+                 let m2 = HashMap::new();\n\
+                 let mut acc = 0;\n\
+                 for (k, v) in m2.iter() { acc += k + v; }\n\
+                 acc\n\
+             }",
+        )]);
+        assert_eq!(summary_of(&files, &crates, "first_key").ret_always, T_HASH);
+    }
+
+    #[test]
+    fn clean_functions_stay_clean_and_propagation_is_tracked() {
+        let (files, crates) = analyze(&[(
+            "crates/u/src/lib.rs",
+            "u",
+            "pub fn double(x: u64) -> u64 { x * 2 }\n\
+             pub fn constant() -> u64 { 17 }",
+        )]);
+        let d = summary_of(&files, &crates, "double");
+        assert_eq!(d.ret_always, 0);
+        assert!(d.propagates);
+        let c = summary_of(&files, &crates, "constant");
+        assert_eq!(c.ret_always, 0);
+        assert!(!c.propagates);
+    }
+
+    #[test]
+    fn entropy_and_thread_sources_detected() {
+        assert_eq!(
+            intrinsic_source(&["rand".into(), "thread_rng".into()]),
+            T_ENTROPY
+        );
+        assert_eq!(
+            intrinsic_source(&["std".into(), "thread".into(), "current".into()]),
+            T_THREAD
+        );
+        assert_eq!(
+            intrinsic_source(&[
+                "std".into(),
+                "collections".into(),
+                "hash_map".into(),
+                "RandomState".into(),
+                "new".into()
+            ]),
+            T_ENTROPY
+        );
+        assert_eq!(intrinsic_source(&["dcn_sim".into(), "step".into()]), 0);
+        assert!(token_rule_covers(&["Instant".into(), "now".into()]));
+        assert!(!token_rule_covers(&[
+            "thread".into(),
+            "current".into()
+        ]));
+    }
+}

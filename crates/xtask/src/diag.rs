@@ -1,0 +1,304 @@
+//! Diagnostics: spans, rule identifiers, machine-readable output and
+//! `--explain` texts.
+//!
+//! Every finding carries a file-relative path and a 1-based line/column
+//! span. Rendering is deterministic by construction: diagnostics are
+//! sorted by (file, line, column, rule, message) and the JSON writer
+//! emits keys in a fixed order with no timestamps or environment
+//! data, so two runs over the same tree are byte-identical.
+
+use std::fmt::Write as _;
+
+/// 1-based line/column source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+// --- rule identifiers ---------------------------------------------------
+
+/// Token-level rules (PR 1), still enforced.
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_PANIC_SAFETY: &str = "panic-safety";
+pub const RULE_TIMER_CONSTANTS: &str = "timer-constants";
+
+/// Semantic rule packs (AST + dataflow).
+pub const RULE_DETERMINISM_TAINT: &str = "determinism-taint";
+pub const RULE_RNG_STREAM: &str = "rng-stream";
+pub const RULE_TIMER_PROVENANCE: &str = "timer-provenance";
+pub const RULE_PANIC_INDEXING: &str = "panic-indexing";
+
+/// Every rule the analyzer can emit, in canonical order.
+pub const ALL_RULES: &[&str] = &[
+    RULE_DETERMINISM,
+    RULE_DETERMINISM_TAINT,
+    RULE_PANIC_INDEXING,
+    RULE_PANIC_SAFETY,
+    RULE_RNG_STREAM,
+    RULE_TIMER_CONSTANTS,
+    RULE_TIMER_PROVENANCE,
+];
+
+/// One finding, after inline-waiver filtering but before allowlist
+/// budgeting (`allowed` is filled in by the budget pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub span: Span,
+    pub rule: &'static str,
+    pub message: String,
+    /// True when the finding is covered by a `lint-allow.toml` budget.
+    pub allowed: bool,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, span: Span, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            span,
+            rule,
+            message,
+            allowed: false,
+        }
+    }
+
+    fn sort_key(&self) -> (&str, u32, u32, &str, &str) {
+        (
+            self.file.as_str(),
+            self.span.line,
+            self.span.col,
+            self.rule,
+            self.message.as_str(),
+        )
+    }
+}
+
+/// Sorts diagnostics into the canonical deterministic order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+// --- rendering ----------------------------------------------------------
+
+/// `path:line:col: [rule] message` — the human format.
+pub fn render_text(d: &Diagnostic) -> String {
+    format!(
+        "{}:{}:{}: [{}] {}",
+        d.file, d.span.line, d.span.col, d.rule, d.message
+    )
+}
+
+/// Renders the full machine-readable report. `ok` is the gate verdict
+/// (budgets respected, no stale waivers); diagnostics must already be
+/// sorted.
+pub fn render_json(files_checked: usize, diags: &[Diagnostic], ok: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"ok\": {ok},");
+    let _ = writeln!(out, "  \"files_checked\": {files_checked},");
+    // Per-rule totals, canonical rule order, only non-zero entries.
+    out.push_str("  \"totals\": {");
+    let mut first = true;
+    for rule in ALL_RULES {
+        let n = diags.iter().filter(|d| d.rule == *rule).count();
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{rule}\": {n}");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"file\": {}, \"line\": {}, \"column\": {}, \"rule\": {}, \"allowed\": {}, \"message\": {}",
+            json_string(&d.file),
+            d.span.line,
+            d.span.col,
+            json_string(d.rule),
+            d.allowed,
+            json_string(&d.message)
+        );
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// --- explain ------------------------------------------------------------
+
+/// The `--explain <RULE>` text, or `None` for an unknown rule.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    match rule {
+        RULE_DETERMINISM => Some(
+            "determinism (token rule)\n\
+             \n\
+             Bans the three classic determinism leaks inside the simulation\n\
+             crates (crates/{sim,routing,emu,core,sweep,chaos,xtask}/src):\n\
+             `HashMap`/`HashSet` (per-process seeded iteration order),\n\
+             `rand::thread_rng`/`rand::random` (ambient OS entropy), and\n\
+             `Instant::now`/`SystemTime::now` (wall clock). Identical seeds\n\
+             must replay identical traces; every one of these breaks that\n\
+             contract silently. Use `BTreeMap`/`BTreeSet` or dense-id\n\
+             indexing, seeded `SimRng`/`DetRng` streams, and `SimTime` from\n\
+             the event queue instead.",
+        ),
+        RULE_DETERMINISM_TAINT => Some(
+            "determinism-taint (dataflow rule)\n\
+             \n\
+             Interprocedural extension of `determinism`: a value that\n\
+             *originates* from a wall clock, hash-iteration order, OS\n\
+             entropy or a thread id anywhere in the workspace must not flow\n\
+             into the deterministic simulation crates — the dcn-sim event\n\
+             handlers, sweep cell execution and chaos oracles all live\n\
+             there. The analyzer computes a taint summary for every\n\
+             function (does its return value derive from a nondeterministic\n\
+             source, directly or transitively?) and flags any call site\n\
+             inside the determinism scope whose callee returns taint, plus\n\
+             direct sources the token rule cannot see (`thread::current`,\n\
+             `RandomState`). An inline `// lint:allow(determinism)` or\n\
+             `// lint:allow(determinism-taint)` waiver on the source line\n\
+             kills the taint at its origin (used for sweep wall-time\n\
+             observability, which never reaches merged results).",
+        ),
+        RULE_RNG_STREAM => Some(
+            "rng-stream (AST rule)\n\
+             \n\
+             Every RNG constructed outside `#[cfg(test)]` code must derive\n\
+             its stream from the experiment's master seed — via\n\
+             `SimRng::fork(stream)` or `cell_seed(master_seed, cell_index)`\n\
+             — never from a literal seed. A literal seed pins a private\n\
+             random stream that silently decouples from the sweep plan:\n\
+             results stop depending on the master seed, and two cells can\n\
+             consume identical streams. Flags integer-literal arguments to\n\
+             `SimRng::new`, `DetRng::seed_from_u64`, `DetRng::for_stream`\n\
+             and `DetRng::stream_seed`.",
+        ),
+        RULE_TIMER_CONSTANTS => Some(
+            "timer-constants (token rule)\n\
+             \n\
+             Flags literal `Duration::from_millis(...)`/`from_secs(...)`\n\
+             arguments in the simulation crates. The paper's recovery-time\n\
+             budget is pure timer arithmetic (detection + SPF schedule +\n\
+             FIB update); every protocol timer literal must live in\n\
+             `dcn_sim::timers` (crates/sim/src/timers.rs) or the top-level\n\
+             `f2tree::config`, so the budget stays auditable in one place.",
+        ),
+        RULE_TIMER_PROVENANCE => Some(
+            "timer-provenance (AST rule)\n\
+             \n\
+             Semantic companion to `timer-constants`, scoped to\n\
+             crates/{routing,chaos,experiments}/src. Flags (a) integer\n\
+             literals matching a protocol-timer magnitude — 60/200/10 ms,\n\
+             10 s, 5/50 ms and their microsecond forms — used as\n\
+             `from_millis`/`from_secs`/`from_micros` arguments or assigned\n\
+             to timer-named bindings (`*_ms`, `*_us`, `*delay*`, `*hold*`,\n\
+             ...) instead of referencing the symbolic constant in\n\
+             `dcn_sim::timers`; and (b) unit-mixing arithmetic that adds,\n\
+             subtracts or compares a milliseconds-valued expression\n\
+             (`*_ms`, `.as_millis()`) against a microseconds-valued one\n\
+             (`*_us`, `.as_micros()`) without conversion.",
+        ),
+        RULE_PANIC_SAFETY => Some(
+            "panic-safety (token rule)\n\
+             \n\
+             Flags `.unwrap()`, `.expect()`, `panic!`, `unimplemented!` and\n\
+             `todo!` in non-test library code workspace-wide. Library code\n\
+             returns typed errors; a panic inside the simulator aborts a\n\
+             whole sweep. Pre-existing debt is budgeted per file in\n\
+             crates/xtask/lint-allow.toml and can only ratchet down;\n\
+             genuinely-held invariants are waived inline with\n\
+             `// lint:allow(panic-safety)` plus a justification.",
+        ),
+        RULE_PANIC_INDEXING => Some(
+            "panic-indexing (AST rule)\n\
+             \n\
+             Flags slice/array/map indexing (`xs[i]`) in non-test library\n\
+             code — the panic path `unwrap()` hides in plain sight. Each\n\
+             crate's count is ratcheted via lint-allow.toml exactly like\n\
+             panic-safety: the budget records current debt, exceeding it\n\
+             fails, and burning a site down requires lowering the budget in\n\
+             the same change. Prefer `.get()`/`.get_mut()` with a typed\n\
+             error, or waive inline stating the bound invariant.",
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_shaped() {
+        let mut diags = vec![
+            Diagnostic::new("b.rs", Span::new(2, 1), RULE_PANIC_SAFETY, "m2".into()),
+            Diagnostic::new("a.rs", Span::new(1, 5), RULE_DETERMINISM, "m1".into()),
+        ];
+        sort_diagnostics(&mut diags);
+        let one = render_json(7, &diags, false);
+        let two = render_json(7, &diags, false);
+        assert_eq!(one, two);
+        assert!(one.starts_with("{\n  \"version\": 1,\n  \"ok\": false,\n"));
+        assert!(one.contains("\"files_checked\": 7"));
+        assert!(one.contains("\"determinism\": 1"));
+        // Sorted: a.rs before b.rs.
+        let a = one.find("a.rs").expect("a.rs present");
+        let b = one.find("b.rs").expect("b.rs present");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in ALL_RULES {
+            assert!(explain(rule).is_some(), "missing --explain for {rule}");
+        }
+        assert!(explain("no-such-rule").is_none());
+    }
+}

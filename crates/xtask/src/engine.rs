@@ -1,0 +1,214 @@
+//! The analysis engine: parses the workspace, runs token rules, the
+//! dataflow fixpoint and the semantic rule packs, then applies the
+//! ratcheting allowlist and produces the final deterministic report.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::allowlist::Allowlist;
+use crate::dataflow::Evaluator;
+use crate::diag::{sort_diagnostics, Diagnostic, RULE_PANIC_INDEXING, RULE_PANIC_SAFETY};
+use crate::packs::{filter_waived, PackConfig, Packs};
+use crate::parser::parse_file;
+use crate::resolve::{CrateMap, FnTable, SourceFile};
+use crate::rules::{self, RuleSet};
+use crate::{lexer, walk};
+
+/// Crates whose *library* code must be bit-for-bit deterministic: the
+/// simulator's figures are only credible if identical seeds replay
+/// identical traces. `xtask` itself is included — the analyzer's output
+/// must be byte-stable too.
+pub const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/sim/src",
+    "crates/routing/src",
+    "crates/emu/src",
+    "crates/core/src",
+    "crates/sweep/src",
+    "crates/chaos/src",
+    "crates/xtask/src",
+];
+
+/// The only files allowed to define protocol timer constants:
+/// `dcn_sim::timers` holds the paper's measured timer values (the lowest
+/// layer, so routing/emu defaults can reference them), and
+/// `crates/core/src/config.rs` is the top-level experiment configuration.
+pub const TIMER_CONFIG_FILES: &[&str] =
+    &["crates/sim/src/timers.rs", "crates/core/src/config.rs"];
+
+/// Crates subject to the timer-provenance pack: the layers that consume
+/// protocol timers and must reference them symbolically.
+pub const TIMER_PROVENANCE_SCOPE: &[&str] = &[
+    "crates/routing/src",
+    "crates/chaos/src",
+    "crates/experiments/src",
+];
+
+/// Rules whose pre-existing debt may be budgeted in `lint-allow.toml`.
+/// Everything else must be fixed or inline-waived.
+pub const RATCHET_RULES: &[&str] = &[RULE_PANIC_SAFETY, RULE_PANIC_INDEXING];
+
+/// Which token-rule families apply to a file (decided from its path).
+pub fn rule_set_for(rel_path: &str) -> RuleSet {
+    let in_determinism_scope = DETERMINISM_SCOPE.iter().any(|s| rel_path.starts_with(s));
+    RuleSet {
+        determinism: in_determinism_scope,
+        panic_safety: true,
+        timer_constants: in_determinism_scope && !TIMER_CONFIG_FILES.contains(&rel_path),
+    }
+}
+
+/// A (rule, file) budget that no longer matches reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetMismatch {
+    pub rule: String,
+    pub file: String,
+    pub actual: usize,
+    pub budget: usize,
+}
+
+/// The complete result of one analysis run.
+pub struct Analysis {
+    pub files_checked: usize,
+    /// All diagnostics, sorted; `allowed` marks budget-covered findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Budgets exceeded (actual > budget) — always a failure.
+    pub over: Vec<BudgetMismatch>,
+    /// Stale budgets (actual < budget) — also a failure: the ratchet
+    /// must be lowered in the same change that burns debt down.
+    pub stale: Vec<BudgetMismatch>,
+    pub ok: bool,
+    /// Observed ratchet-rule counts, for `--update-allowlist`.
+    pub observed: Allowlist,
+}
+
+/// Runs the full analysis over the workspace rooted at `root`.
+pub fn analyze(root: &Path, allowlist: &Allowlist) -> Result<Analysis, String> {
+    let crates = CrateMap::load(root);
+    let paths = walk::workspace_rs_files(root)?;
+
+    let mut files = Vec::with_capacity(paths.len());
+    let mut diagnostics = Vec::new();
+    for path in &paths {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| "file outside root".to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        let lexed = lexer::lex(&source);
+
+        // Token-level rules (waivers already applied inside).
+        diagnostics.extend(rules::check(&lexed, rule_set_for(&rel), &rel));
+
+        let ast = parse_file(&lexed);
+        let krate = crates.lib_for_rel(&rel).unwrap_or("").to_string();
+        files.push(SourceFile::new(rel, krate, lexed, ast));
+    }
+
+    // Resolution + dataflow fixpoint.
+    let table = FnTable::collect(&files);
+    let mut eval = Evaluator::new(&files, &table, &crates);
+    eval.run_fixpoint();
+
+    // Semantic rule packs.
+    let packs = Packs {
+        files: &files,
+        table: &table,
+        eval: &eval,
+        crates: &crates,
+        cfg: PackConfig {
+            determinism_scope: DETERMINISM_SCOPE,
+            timer_scope: TIMER_PROVENANCE_SCOPE,
+            timer_exempt: TIMER_CONFIG_FILES,
+        },
+    };
+    let mut pack_diags = Vec::new();
+    pack_diags.extend(packs.determinism_taint());
+    pack_diags.extend(packs.rng_stream());
+    pack_diags.extend(packs.timer_provenance());
+    pack_diags.extend(packs.panic_indexing());
+    diagnostics.extend(filter_waived(pack_diags, &files));
+
+    sort_diagnostics(&mut diagnostics);
+
+    // Budget accounting, per (rule, file).
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in &diagnostics {
+        *counts.entry((d.rule.to_string(), d.file.clone())).or_default() += 1;
+    }
+    let mut over = Vec::new();
+    let mut stale = Vec::new();
+    let mut covered: BTreeMap<(String, String), bool> = BTreeMap::new();
+    for ((rule, file), &n) in &counts {
+        let budget = allowlist.budget(rule, file);
+        covered.insert((rule.clone(), file.clone()), n <= budget);
+        if n > budget && budget > 0 {
+            over.push(BudgetMismatch {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                actual: n,
+                budget,
+            });
+        } else if n < budget {
+            stale.push(BudgetMismatch {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                actual: n,
+                budget,
+            });
+        }
+    }
+    // Budgets for files that no longer have findings at all are stale too.
+    for (rule, per_file) in &allowlist.budgets {
+        for (file, &budget) in per_file {
+            if budget > 0 && !counts.contains_key(&(rule.clone(), file.clone())) {
+                stale.push(BudgetMismatch {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    actual: 0,
+                    budget,
+                });
+            }
+        }
+    }
+    stale.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+
+    let mut ok = over.is_empty() && stale.is_empty();
+    for d in &mut diagnostics {
+        d.allowed = covered
+            .get(&(d.rule.to_string(), d.file.clone()))
+            .copied()
+            .unwrap_or(false);
+        if !d.allowed {
+            ok = false;
+        }
+    }
+
+    // Observed counts for the ratchet rules, for --update-allowlist.
+    let mut observed = Allowlist::default();
+    for ((rule, file), &n) in &counts {
+        if RATCHET_RULES.contains(&rule.as_str()) {
+            observed
+                .budgets
+                .entry(rule.clone())
+                .or_default()
+                .insert(file.clone(), n);
+        }
+    }
+    // Preserve manually-maintained budgets for non-ratchet rules.
+    for (rule, per_file) in &allowlist.budgets {
+        if !RATCHET_RULES.contains(&rule.as_str()) {
+            observed.budgets.insert(rule.clone(), per_file.clone());
+        }
+    }
+
+    Ok(Analysis {
+        files_checked: files.len(),
+        diagnostics,
+        over,
+        stale,
+        ok,
+        observed,
+    })
+}

@@ -1,0 +1,25 @@
+//! `xtask` as a library: the dependency-free static-analysis engine
+//! behind `cargo run -p xtask -- lint`.
+//!
+//! Pipeline: [`lexer`] (tokens + positions + waivers) → [`parser`]
+//! (lightweight AST) → [`resolve`] (crate map, `use` maps, function
+//! table) → [`dataflow`] (taint summaries to a fixpoint) → token rules
+//! ([`rules`]) and semantic packs ([`packs`]) → [`engine`] (allowlist
+//! ratchet, deterministic report). [`diag`] defines diagnostics and the
+//! byte-stable JSON rendering; [`jsonchk`] validates JSON output in CI.
+//!
+//! Exposed as a library so integration tests can run the engine over
+//! fixture crate trees (see `tests/golden_json.rs`).
+
+pub mod allowlist;
+pub mod ast;
+pub mod dataflow;
+pub mod diag;
+pub mod engine;
+pub mod jsonchk;
+pub mod lexer;
+pub mod packs;
+pub mod parser;
+pub mod resolve;
+pub mod rules;
+pub mod walk;

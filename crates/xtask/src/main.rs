@@ -1,44 +1,39 @@
 //! `xtask` — workspace automation, run as `cargo run -p xtask -- <command>`.
 //!
-//! The only command today is `lint`: a dependency-free static-analysis
-//! pass over every `.rs` file in the workspace enforcing the determinism,
-//! panic-safety and timer-constant policies described in DESIGN.md. See
-//! the `rules` module for what each rule matches, and
-//! `crates/xtask/lint-allow.toml` for the ratcheting budget of
-//! pre-existing violations.
+//! Commands:
+//!
+//! - `lint [--format text|json] [--update-allowlist] [--explain <RULE>]`
+//!   runs the full static-analysis engine (token rules + AST/dataflow
+//!   rule packs, see `xtask::engine`) over every workspace `.rs` file.
+//!   `--format json` emits a byte-stable machine-readable report;
+//!   `--explain` prints the rationale and fix guidance for one rule;
+//!   `--update-allowlist` regenerates the ratchet budgets in
+//!   `crates/xtask/lint-allow.toml` from observed counts.
+//! - `check-json <file>` validates that a file parses as JSON (used by
+//!   CI to assert the lint report is well-formed without jq/python).
 //!
 //! Exit codes: 0 clean, 1 lint violations, 2 usage or I/O error.
-
-mod allowlist;
-mod lexer;
-mod rules;
-mod walk;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use allowlist::Allowlist;
-use rules::{RuleSet, RULE_DETERMINISM, RULE_PANIC_SAFETY, RULE_TIMER_CONSTANTS};
+use xtask::allowlist::Allowlist;
+use xtask::diag::{self, render_json, render_text};
+use xtask::engine::{self, Analysis};
+use xtask::jsonchk;
 
 const ALLOWLIST_REL: &str = "crates/xtask/lint-allow.toml";
 
-/// Crates whose *library* code must be bit-for-bit deterministic: the
-/// simulator's figures are only credible if identical seeds replay
-/// identical traces.
-const DETERMINISM_SCOPE: &[&str] = &[
-    "crates/sim/src",
-    "crates/routing/src",
-    "crates/emu/src",
-    "crates/core/src",
-    "crates/sweep/src",
-    "crates/chaos/src",
-];
+const USAGE: &str = "usage: cargo run -p xtask -- <command>\n\
+commands:\n  \
+  lint [--format text|json] [--update-allowlist] [--explain <RULE>]\n  \
+  check-json <file>";
 
-/// The only files allowed to define protocol timer constants:
-/// `dcn_sim::timers` holds the paper's measured timer values (the lowest
-/// layer, so routing/emu defaults can reference them), and
-/// `crates/core/src/config.rs` is the top-level experiment configuration.
-const TIMER_CONFIG_FILES: &[&str] = &["crates/sim/src/timers.rs", "crates/core/src/config.rs"];
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,16 +41,49 @@ fn main() -> ExitCode {
     match it.next() {
         Some("lint") => {
             let mut update_allowlist = false;
-            for arg in it {
+            let mut format = Format::Text;
+            while let Some(arg) = it.next() {
                 match arg {
                     "--update-allowlist" => update_allowlist = true,
+                    "--format" => match it.next() {
+                        Some("text") => format = Format::Text,
+                        Some("json") => format = Format::Json,
+                        other => {
+                            eprintln!(
+                                "--format takes `text` or `json`, got {}",
+                                other.unwrap_or("nothing")
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--explain" => {
+                        return match it.next() {
+                            Some(rule) => match diag::explain(rule) {
+                                Some(text) => {
+                                    println!("{text}");
+                                    ExitCode::SUCCESS
+                                }
+                                None => {
+                                    eprintln!(
+                                        "unknown rule `{rule}`; rules: {}",
+                                        diag::ALL_RULES.join(", ")
+                                    );
+                                    ExitCode::from(2)
+                                }
+                            },
+                            None => {
+                                eprintln!("--explain takes a rule name");
+                                ExitCode::from(2)
+                            }
+                        };
+                    }
                     other => {
-                        eprintln!("unknown lint option: {other}");
+                        eprintln!("unknown lint option: {other}\n{USAGE}");
                         return ExitCode::from(2);
                     }
                 }
             }
-            match run_lint(update_allowlist) {
+            match run_lint(update_allowlist, format) {
                 Ok(true) => ExitCode::SUCCESS,
                 Ok(false) => ExitCode::FAILURE,
                 Err(err) => {
@@ -64,6 +92,28 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("check-json") => match it.next() {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => match jsonchk::validate(&text) {
+                    Ok(()) => {
+                        println!("{path}: valid JSON");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid JSON: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                Err(e) => {
+                    eprintln!("reading {path}: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            None => {
+                eprintln!("check-json takes a file path\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
             eprintln!("unknown command: {other}\n{USAGE}");
             ExitCode::from(2)
@@ -74,8 +124,6 @@ fn main() -> ExitCode {
         }
     }
 }
-
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--update-allowlist]";
 
 /// Workspace root: two levels above this crate's manifest dir.
 fn workspace_root() -> Result<PathBuf, String> {
@@ -88,103 +136,82 @@ fn workspace_root() -> Result<PathBuf, String> {
         .ok_or_else(|| "cannot locate workspace root".to_string())
 }
 
-fn rule_set_for(rel_path: &str) -> RuleSet {
-    let in_determinism_scope = DETERMINISM_SCOPE.iter().any(|s| rel_path.starts_with(s));
-    RuleSet {
-        determinism: in_determinism_scope,
-        panic_safety: true,
-        timer_constants: in_determinism_scope && !TIMER_CONFIG_FILES.contains(&rel_path),
+fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    if !path.exists() {
+        return Ok(Allowlist::default());
     }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {ALLOWLIST_REL}: {e}"))?;
+    Allowlist::parse(&text).map_err(|e| format!("{ALLOWLIST_REL}: {e}"))
 }
 
-fn run_lint(update_allowlist: bool) -> Result<bool, String> {
+fn run_lint(update_allowlist: bool, format: Format) -> Result<bool, String> {
     let root = workspace_root()?;
     let allowlist_path = root.join(ALLOWLIST_REL);
-    let allowlist = if allowlist_path.exists() {
-        let text = std::fs::read_to_string(&allowlist_path)
-            .map_err(|e| format!("reading {ALLOWLIST_REL}: {e}"))?;
-        Allowlist::parse(&text).map_err(|e| format!("{ALLOWLIST_REL}: {e}"))?
-    } else {
-        Allowlist::default()
-    };
+    let allowlist = load_allowlist(&allowlist_path)?;
 
-    let files = walk::workspace_rs_files(&root)?;
-    let mut clean = true;
-    let mut checked = 0usize;
-    let mut totals: std::collections::BTreeMap<&'static str, usize> =
-        std::collections::BTreeMap::new();
-    let mut observed = Allowlist::default();
-    let mut under_budget: Vec<(String, String, usize, usize)> = Vec::new();
-
-    for file in &files {
-        let rel = file
-            .strip_prefix(&root)
-            .map_err(|_| "file outside root".to_string())?
-            .to_string_lossy()
-            .replace('\\', "/");
-        let rules = rule_set_for(&rel);
-        let source = std::fs::read_to_string(file).map_err(|e| format!("reading {rel}: {e}"))?;
-        let lexed = lexer::lex(&source);
-        let violations = rules::check(&lexed, rules);
-        checked += 1;
-
-        // Group per rule so the allowlist budget applies per (rule, file).
-        for rule in [RULE_DETERMINISM, RULE_PANIC_SAFETY, RULE_TIMER_CONSTANTS] {
-            let of_rule: Vec<_> = violations.iter().filter(|v| v.rule == rule).collect();
-            if of_rule.is_empty() {
-                continue;
-            }
-            *totals.entry(rule).or_default() += of_rule.len();
-            observed
-                .budgets
-                .entry(rule.to_string())
-                .or_default()
-                .insert(rel.clone(), of_rule.len());
-            let budget = allowlist.budget(rule, &rel);
-            if of_rule.len() > budget {
-                clean = false;
-                for v in &of_rule {
-                    println!("{rel}:{}: [{rule}] {}", v.line, v.message);
-                }
-                if budget > 0 {
-                    println!(
-                        "{rel}: [{rule}] {} violation(s) exceed the allowlisted budget of {budget}",
-                        of_rule.len()
-                    );
-                }
-            } else if of_rule.len() < budget {
-                under_budget.push((rule.to_string(), rel.clone(), of_rule.len(), budget));
-            }
-        }
-    }
+    let analysis = engine::analyze(&root, &allowlist)?;
 
     if update_allowlist {
-        std::fs::write(&allowlist_path, observed.render())
+        std::fs::write(&allowlist_path, analysis.observed.render())
             .map_err(|e| format!("writing {ALLOWLIST_REL}: {e}"))?;
-        println!("wrote {ALLOWLIST_REL} with current counts");
+        println!("wrote {ALLOWLIST_REL} with current ratchet counts");
         return Ok(true);
     }
 
-    for (rule, file, actual, budget) in &under_budget {
+    match format {
+        Format::Json => {
+            print!(
+                "{}",
+                render_json(analysis.files_checked, &analysis.diagnostics, analysis.ok)
+            );
+        }
+        Format::Text => report_text(&analysis, &allowlist),
+    }
+    Ok(analysis.ok)
+}
+
+fn report_text(analysis: &Analysis, allowlist: &Allowlist) {
+    for d in &analysis.diagnostics {
+        if !d.allowed {
+            println!("{}", render_text(d));
+        }
+    }
+    for m in &analysis.over {
         println!(
-            "note: {file} is under its [{rule}] budget ({actual} < {budget}) — \
-             ratchet the allowlist down"
+            "{}: [{}] {} finding(s) exceed the allowlisted budget of {}",
+            m.file, m.rule, m.actual, m.budget
+        );
+    }
+    for m in &analysis.stale {
+        println!(
+            "{}: [{}] stale budget: {} allowed but only {} found — run \
+             `cargo run -p xtask -- lint --update-allowlist` to ratchet down",
+            m.file, m.rule, m.budget, m.actual
         );
     }
 
-    let determinism = totals.get(RULE_DETERMINISM).copied().unwrap_or(0);
-    let panics = totals.get(RULE_PANIC_SAFETY).copied().unwrap_or(0);
-    let timers = totals.get(RULE_TIMER_CONSTANTS).copied().unwrap_or(0);
+    let mut totals: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for d in &analysis.diagnostics {
+        *totals.entry(d.rule).or_default() += 1;
+    }
+    let summary: Vec<String> = diag::ALL_RULES
+        .iter()
+        .filter_map(|r| totals.get(r).map(|n| format!("{n} {r}")))
+        .collect();
     println!(
-        "xtask lint: {checked} files; {determinism} determinism / {panics} panic-safety / \
-         {timers} timer-constant finding(s); budgets: {} panic-safety, {} timer-constants",
-        allowlist.total(RULE_PANIC_SAFETY),
-        allowlist.total(RULE_TIMER_CONSTANTS),
+        "xtask lint: {} files; findings: {}; budgets: {} panic-safety, {} panic-indexing",
+        analysis.files_checked,
+        if summary.is_empty() { "none".to_string() } else { summary.join(", ") },
+        allowlist.total(diag::RULE_PANIC_SAFETY),
+        allowlist.total(diag::RULE_PANIC_INDEXING),
     );
-    if clean {
+    if analysis.ok {
         println!("xtask lint: OK");
     } else {
-        println!("xtask lint: FAILED (fix the code, add an inline `// lint:allow(<rule>)` waiver with justification, or — for pre-existing debt only — raise no budgets, ratchet them down)");
+        println!(
+            "xtask lint: FAILED (fix the code, add an inline `// lint:allow(<rule>)` waiver \
+             with justification, or — for pre-existing panic debt only — ratchet \
+             lint-allow.toml; see `lint --explain <rule>`)"
+        );
     }
-    Ok(clean)
 }

@@ -1,0 +1,663 @@
+//! The semantic rule packs: determinism-taint, rng-stream,
+//! timer-provenance, panic-indexing.
+//!
+//! Each pack walks the function table produced by [`crate::resolve`]
+//! (plus `const`/`static` initializers where values can hide) and emits
+//! [`Diagnostic`]s; inline-waiver filtering happens in
+//! [`filter_waived`], budget accounting in the engine.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::dataflow::{intrinsic_source, taint_kinds, token_rule_covers, Evaluator};
+use crate::diag::{
+    Diagnostic, RULE_DETERMINISM_TAINT, RULE_PANIC_INDEXING, RULE_RNG_STREAM,
+    RULE_TIMER_PROVENANCE,
+};
+use crate::resolve::{CrateMap, FnTable, SourceFile};
+
+/// Protocol-timer magnitudes in milliseconds, with the symbolic constant
+/// each corresponds to in `dcn_sim::timers`.
+const TIMER_MS: &[(u64, &str)] = &[
+    (5, "CONTROLLER_REPORT_DELAY / CONTROLLER_PUSH_DELAY"),
+    (10, "FIB_UPDATE_DELAY"),
+    (50, "CONTROLLER_COMPUTE_DELAY"),
+    (60, "DETECTION_DELAY"),
+    (200, "SPF_INITIAL_DELAY"),
+    (10_000, "SPF_MAX_HOLD"),
+];
+
+/// The same magnitudes in microseconds.
+const TIMER_US: &[(u64, &str)] = &[
+    (5_000, "CONTROLLER_REPORT_DELAY / CONTROLLER_PUSH_DELAY"),
+    (10_000, "FIB_UPDATE_DELAY"),
+    (50_000, "CONTROLLER_COMPUTE_DELAY"),
+    (60_000, "DETECTION_DELAY"),
+    (200_000, "SPF_INITIAL_DELAY"),
+    (10_000_000, "SPF_MAX_HOLD"),
+];
+
+/// Whole-second forms.
+const TIMER_SECS: &[(u64, &str)] = &[(10, "SPF_MAX_HOLD")];
+
+fn magnitude(set: &'static [(u64, &'static str)], v: u64) -> Option<&'static str> {
+    set.iter().find(|(m, _)| *m == v).map(|(_, s)| *s)
+}
+
+/// Scope configuration shared by the packs.
+pub struct PackConfig<'a> {
+    /// Path prefixes whose non-test code is the determinism sink scope.
+    pub determinism_scope: &'a [&'a str],
+    /// Path prefixes subject to timer-provenance.
+    pub timer_scope: &'a [&'a str],
+    /// Files allowed to define timer constants (exempt everywhere).
+    pub timer_exempt: &'a [&'a str],
+}
+
+impl PackConfig<'_> {
+    fn in_determinism_scope(&self, rel: &str) -> bool {
+        self.determinism_scope.iter().any(|p| rel.starts_with(p))
+    }
+
+    fn in_timer_scope(&self, rel: &str) -> bool {
+        self.timer_scope.iter().any(|p| rel.starts_with(p))
+            && !self.timer_exempt.contains(&rel)
+    }
+
+    /// Does the token-level `timer-constants` rule already cover
+    /// `from_millis`/`from_secs` literals in this file?
+    fn token_timer_covers(&self, rel: &str) -> bool {
+        self.in_determinism_scope(rel) && !self.timer_exempt.contains(&rel)
+    }
+}
+
+pub struct Packs<'a> {
+    pub files: &'a [SourceFile],
+    pub table: &'a FnTable<'a>,
+    pub eval: &'a Evaluator<'a>,
+    pub crates: &'a CrateMap,
+    pub cfg: PackConfig<'a>,
+}
+
+impl<'a> Packs<'a> {
+    fn rel(&self, file_idx: usize) -> &str {
+        self.files.get(file_idx).map_or("", |f| f.rel.as_str())
+    }
+
+    /// Walks every expression of every non-test function body whose file
+    /// satisfies `scope`, plus const/static initializers.
+    fn walk_scope(&self, scope: impl Fn(&str) -> bool, mut f: impl FnMut(usize, &'a Expr)) {
+        for decl in &self.table.fns {
+            if decl.is_test || !scope(self.rel(decl.file_idx)) {
+                continue;
+            }
+            if let Some(body) = &decl.item.body {
+                crate::ast::walk_block(body, &mut |e| f(decl.file_idx, e));
+            }
+        }
+        for init in &self.table.inits {
+            if init.is_test || !scope(self.rel(init.file_idx)) {
+                continue;
+            }
+            init.init.walk(&mut |e| f(init.file_idx, e));
+        }
+    }
+
+    // --- pack 1: determinism taint --------------------------------------
+
+    pub fn determinism_taint(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_scope(
+            |rel| self.cfg.in_determinism_scope(rel),
+            |file_idx, e| match &e.kind {
+                ExprKind::Call { callee, .. } => {
+                    let Some(path) = callee.as_path() else { return };
+                    let q = self.eval.qualify_in(file_idx, path);
+                    let src = intrinsic_source(&q);
+                    let disp = path.join("::");
+                    if src != 0 {
+                        // Direct sources the token rule already flags are
+                        // its territory; report only the ones it cannot
+                        // see (thread ids, RandomState, from_entropy).
+                        if !token_rule_covers(&q)
+                            && !self.eval.source_waived(file_idx, e.span.line)
+                        {
+                            out.push(Diagnostic::new(
+                                self.rel(file_idx),
+                                e.span,
+                                RULE_DETERMINISM_TAINT,
+                                format!(
+                                    "`{disp}` reads {} inside deterministic simulation \
+                                     code; identical seeds must replay identical traces",
+                                    taint_kinds(src)
+                                ),
+                            ));
+                        }
+                        return;
+                    }
+                    let s = self.eval.callee_summary(self.table.resolve_call(&q));
+                    if s.ret_always != 0 {
+                        out.push(Diagnostic::new(
+                            self.rel(file_idx),
+                            e.span,
+                            RULE_DETERMINISM_TAINT,
+                            format!(
+                                "call to `{disp}` returns a value derived from {}; \
+                                 deterministic simulation code must not consume it \
+                                 (waive at the source with \
+                                 `// lint:allow(determinism-taint)` if it never \
+                                 reaches results)",
+                                taint_kinds(s.ret_always)
+                            ),
+                        ));
+                    }
+                }
+                ExprKind::MethodCall { method, .. } => {
+                    let s = self
+                        .eval
+                        .callee_summary(self.table.resolve_method(method));
+                    if s.ret_always != 0 {
+                        out.push(Diagnostic::new(
+                            self.rel(file_idx),
+                            e.span,
+                            RULE_DETERMINISM_TAINT,
+                            format!(
+                                "call to `.{method}()` returns a value derived from \
+                                 {}; deterministic simulation code must not consume it",
+                                taint_kinds(s.ret_always)
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            },
+        );
+        out
+    }
+
+    // --- pack 2: RNG stream discipline ----------------------------------
+
+    pub fn rng_stream(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_scope(
+            |_| true,
+            |file_idx, e| {
+                let ExprKind::Call { callee, args } = &e.kind else {
+                    return;
+                };
+                let Some(path) = callee.as_path() else { return };
+                let q = self.eval.qualify_in(file_idx, path);
+                let Some(name) = q.last().map(String::as_str) else {
+                    return;
+                };
+                let owner = q
+                    .len()
+                    .checked_sub(2)
+                    .and_then(|i| q.get(i))
+                    .map(String::as_str)
+                    .unwrap_or("");
+                let is_rng_ctor = matches!(
+                    (owner, name),
+                    ("SimRng", "new")
+                        | ("DetRng", "seed_from_u64")
+                        | ("DetRng", "for_stream")
+                        | ("DetRng", "stream_seed")
+                );
+                if !is_rng_ctor {
+                    return;
+                }
+                let Some(seed) = args.first().and_then(Expr::as_int_lit) else {
+                    return;
+                };
+                out.push(Diagnostic::new(
+                    self.rel(file_idx),
+                    e.span,
+                    RULE_RNG_STREAM,
+                    format!(
+                        "literal seed {seed} passed to `{owner}::{name}`; non-test \
+                         RNG streams must derive from the master seed via \
+                         `SimRng::fork(stream)` or `cell_seed(master, index)`"
+                    ),
+                ));
+            },
+        );
+        out
+    }
+
+    // --- pack 3: timer-constant provenance ------------------------------
+
+    pub fn timer_provenance(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        // Rule A (literal from_* construction) + Rule C (unit mixing) +
+        // struct-literal fields, over all expressions in scope.
+        self.walk_scope(
+            |rel| self.cfg.in_timer_scope(rel),
+            |file_idx, e| {
+                self.timer_literal_call(file_idx, e, &mut out);
+                self.timer_unit_mixing(file_idx, e, &mut out);
+                self.timer_struct_fields(file_idx, e, &mut out);
+            },
+        );
+        // Rule B: timer-named `let` bindings initialized to a bare
+        // magnitude literal.
+        for decl in &self.table.fns {
+            let rel = self.rel(decl.file_idx);
+            if decl.is_test || !self.cfg.in_timer_scope(rel) {
+                continue;
+            }
+            if let Some(body) = &decl.item.body {
+                for block in blocks_of(body) {
+                    for stmt in &block.stmts {
+                        let Stmt::Let {
+                            span,
+                            names,
+                            init: Some(init),
+                        } = stmt
+                        else {
+                            continue;
+                        };
+                        let Some(name) =
+                            names.iter().find(|n| timer_named(n)) else {
+                            continue;
+                        };
+                        self.check_named_literal(decl.file_idx, *span, name, init, &mut out);
+                    }
+                }
+            }
+        }
+        // Rule B for const/static items.
+        for init in &self.table.inits {
+            let rel = self.rel(init.file_idx);
+            if init.is_test || !self.cfg.in_timer_scope(rel) {
+                continue;
+            }
+            if timer_named(&init.name) {
+                self.check_named_literal(init.file_idx, init.span, &init.name, init.init, &mut out);
+            }
+        }
+        out
+    }
+
+    fn timer_literal_call(&self, file_idx: usize, e: &Expr, out: &mut Vec<Diagnostic>) {
+        let ExprKind::Call { callee, args } = &e.kind else {
+            return;
+        };
+        let Some(ctor) = callee.as_path().and_then(|p| p.last()) else {
+            return;
+        };
+        if args.len() != 1 {
+            return;
+        }
+        let Some(v) = args.first().and_then(Expr::as_int_lit) else {
+            return;
+        };
+        let rel = self.rel(file_idx);
+        let token_covers = self.cfg.token_timer_covers(rel);
+        let hit = match ctor.as_str() {
+            "from_millis" if !token_covers => magnitude(TIMER_MS, v),
+            "from_secs" if !token_covers => magnitude(TIMER_SECS, v),
+            "from_micros" => magnitude(TIMER_US, v),
+            _ => None,
+        };
+        if let Some(suggestion) = hit {
+            out.push(Diagnostic::new(
+                rel,
+                e.span,
+                RULE_TIMER_PROVENANCE,
+                format!(
+                    "protocol-timer literal `{ctor}({v})`; reference \
+                     `dcn_sim::timers::{suggestion}` so the recovery budget stays \
+                     auditable in one place"
+                ),
+            ));
+        }
+    }
+
+    fn timer_struct_fields(&self, file_idx: usize, e: &Expr, out: &mut Vec<Diagnostic>) {
+        let ExprKind::Struct { fields, .. } = &e.kind else {
+            return;
+        };
+        for (name, value) in fields {
+            if timer_named(name) {
+                self.check_named_literal(file_idx, value.span, name, value, out);
+            }
+        }
+    }
+
+    fn check_named_literal(
+        &self,
+        file_idx: usize,
+        span: crate::diag::Span,
+        name: &str,
+        init: &Expr,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let Some(v) = init.as_int_lit() else { return };
+        let lower = name.to_ascii_lowercase();
+        let set: &[(u64, &str)] = if lower.ends_with("_us") || lower.ends_with("_micros") {
+            TIMER_US
+        } else {
+            TIMER_MS
+        };
+        if let Some(suggestion) = magnitude(set, v) {
+            out.push(Diagnostic::new(
+                self.rel(file_idx),
+                span,
+                RULE_TIMER_PROVENANCE,
+                format!(
+                    "`{name}` hard-codes protocol-timer magnitude {v}; derive it \
+                     from `dcn_sim::timers::{suggestion}`"
+                ),
+            ));
+        }
+    }
+
+    fn timer_unit_mixing(&self, file_idx: usize, e: &Expr, out: &mut Vec<Diagnostic>) {
+        let ExprKind::Binary { op, lhs, rhs } = &e.kind else {
+            return;
+        };
+        if !matches!(*op, "+" | "-" | "<" | ">" | "<=" | ">=" | "==") {
+            return;
+        }
+        let (Some((lu, ld)), Some((ru, rd))) = (unit_of(lhs), unit_of(rhs)) else {
+            return;
+        };
+        if lu != ru {
+            out.push(Diagnostic::new(
+                self.rel(file_idx),
+                e.span,
+                RULE_TIMER_PROVENANCE,
+                format!(
+                    "`{op}` mixes {} (`{ld}`) with {} (`{rd}`) without unit \
+                     conversion",
+                    lu.name(),
+                    ru.name()
+                ),
+            ));
+        }
+    }
+
+    // --- pack 4: panic-reachability (indexing) --------------------------
+
+    pub fn panic_indexing(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_scope(
+            |_| true,
+            |file_idx, e| {
+                if let ExprKind::Index { .. } = &e.kind {
+                    out.push(Diagnostic::new(
+                        self.rel(file_idx),
+                        e.span,
+                        RULE_PANIC_INDEXING,
+                        "indexing panics when out of bounds; use `.get()`/`.get_mut()` \
+                         with a typed error, waive with the bound invariant, or \
+                         ratchet via lint-allow.toml"
+                            .to_string(),
+                    ));
+                }
+            },
+        );
+        out
+    }
+}
+
+/// Time unit inferred from naming/accessor conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Ms,
+    Us,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Ms => "milliseconds",
+            Unit::Us => "microseconds",
+        }
+    }
+}
+
+fn unit_suffix(name: &str) -> Option<Unit> {
+    let lower = name.to_ascii_lowercase();
+    if lower.ends_with("_ms") || lower.ends_with("_millis") || lower == "as_millis" {
+        Some(Unit::Ms)
+    } else if lower.ends_with("_us") || lower.ends_with("_micros") || lower == "as_micros" {
+        Some(Unit::Us)
+    } else {
+        None
+    }
+}
+
+/// Time unit of an expression, with the display name that carries it.
+fn unit_of(e: &Expr) -> Option<(Unit, String)> {
+    match &e.kind {
+        ExprKind::Path(p) => {
+            let last = p.last()?;
+            unit_suffix(last).map(|u| (u, last.clone()))
+        }
+        ExprKind::Field { name, .. } => unit_suffix(name).map(|u| (u, name.clone())),
+        ExprKind::MethodCall { method, .. } => {
+            unit_suffix(method).map(|u| (u, format!("{method}()")))
+        }
+        ExprKind::Unary(inner) | ExprKind::Ref(inner) | ExprKind::Try(inner) => unit_of(inner),
+        ExprKind::Binary { op, lhs, rhs, .. } if matches!(*op, "+" | "-") => {
+            unit_of(lhs).or_else(|| unit_of(rhs))
+        }
+        _ => None,
+    }
+}
+
+/// Names that conventionally hold protocol-timer durations.
+fn timer_named(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.ends_with("_ms")
+        || lower.ends_with("_us")
+        || lower.ends_with("_millis")
+        || lower.ends_with("_micros")
+        || lower.contains("delay")
+        || lower.contains("hold")
+        || lower.contains("timeout")
+        || lower.contains("detect")
+        || lower.contains("spf")
+        || lower.contains("fib")
+}
+
+/// The function body plus every nested block, shallow per entry (so each
+/// `let` statement is visited exactly once).
+fn blocks_of(body: &Block) -> Vec<&Block> {
+    let mut out = vec![body];
+    crate::ast::walk_block(body, &mut |e| match &e.kind {
+        ExprKind::Block(b) => out.push(b),
+        ExprKind::If { then, .. } => out.push(then),
+        ExprKind::Loop { body, .. } => out.push(body),
+        _ => {}
+    });
+    out
+}
+
+/// Drops diagnostics covered by an inline `// lint:allow(<rule>)` waiver
+/// on the same or the preceding line.
+pub fn filter_waived(mut diags: Vec<Diagnostic>, files: &[SourceFile]) -> Vec<Diagnostic> {
+    let by_rel: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    diags.retain(|d| {
+        let Some(sf) = by_rel.get(d.file.as_str()) else {
+            return true;
+        };
+        !sf.lexed.waivers.iter().any(|w| {
+            (w.line == d.span.line || w.line + 1 == d.span.line)
+                && w.rules.iter().any(|r| r == d.rule || r == "all")
+        })
+    });
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Evaluator;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+    use crate::resolve::{CrateMap, FnTable, SourceFile};
+
+    const SCOPE: &[&str] = &["crates/sim/src", "crates/routing/src"];
+    const TSCOPE: &[&str] = &["crates/routing/src", "crates/experiments/src"];
+    const EXEMPT: &[&str] = &["crates/sim/src/timers.rs"];
+
+    fn run(srcs: &[(&str, &str, &str)], pack: &str) -> Vec<String> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(rel, krate, src)| {
+                let lexed = lex(src);
+                let ast = parse_file(&lexed);
+                SourceFile::new(rel.to_string(), krate.to_string(), lexed, ast)
+            })
+            .collect();
+        let crates = CrateMap::default();
+        let table = FnTable::collect(&files);
+        let mut eval = Evaluator::new(&files, &table, &crates);
+        eval.run_fixpoint();
+        let packs = Packs {
+            files: &files,
+            table: &table,
+            eval: &eval,
+            crates: &crates,
+            cfg: PackConfig {
+                determinism_scope: SCOPE,
+                timer_scope: TSCOPE,
+                timer_exempt: EXEMPT,
+            },
+        };
+        let diags = match pack {
+            "taint" => packs.determinism_taint(),
+            "rng" => packs.rng_stream(),
+            "timer" => packs.timer_provenance(),
+            "index" => packs.panic_indexing(),
+            _ => Vec::new(),
+        };
+        filter_waived(diags, &files)
+            .into_iter()
+            .map(|d| format!("{}:{} {}", d.file, d.span.line, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn taint_flags_cross_crate_wall_clock_flow() {
+        let hits = run(
+            &[
+                (
+                    "crates/util/src/lib.rs",
+                    "util",
+                    "use std::time::Instant;\n\
+                     pub fn wall_stamp() -> u128 { Instant::now().elapsed().as_millis() }",
+                ),
+                (
+                    "crates/sim/src/lib.rs",
+                    "dcn_sim",
+                    "use util::wall_stamp;\n\
+                     pub fn on_link_event(t: u64) -> u64 { t + wall_stamp() as u64 }",
+                ),
+            ],
+            "taint",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits.first().is_some_and(
+            |h| h.contains("crates/sim/src/lib.rs") && h.contains("wall_stamp")
+        ));
+    }
+
+    #[test]
+    fn taint_ignores_test_code_and_clean_calls() {
+        let hits = run(
+            &[(
+                "crates/sim/src/lib.rs",
+                "dcn_sim",
+                "pub fn clean(t: u64) -> u64 { t + 1 }\n\
+                 pub fn handler(t: u64) -> u64 { clean(t) }\n\
+                 #[cfg(test)] mod tests {\n\
+                     use std::time::Instant;\n\
+                     fn t() -> u128 { Instant::now().elapsed().as_millis() }\n\
+                 }",
+            )],
+            "taint",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn rng_stream_flags_literal_seeds_outside_tests() {
+        let hits = run(
+            &[(
+                "crates/experiments/src/lib.rs",
+                "f2tree_experiments",
+                "pub fn bad() -> u64 { let mut r = SimRng::new(42); r.next() }\n\
+                 pub fn good(seed: u64) -> u64 { let mut r = SimRng::new(seed); r.next() }\n\
+                 #[cfg(test)] mod tests {\n\
+                     fn ok() { let _ = SimRng::new(7); }\n\
+                 }",
+            )],
+            "rng",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits.first().is_some_and(|h| h.contains("literal seed 42")));
+    }
+
+    #[test]
+    fn timer_provenance_flags_magnitudes_and_unit_mixing() {
+        let hits = run(
+            &[(
+                "crates/routing/src/spf.rs",
+                "dcn_routing",
+                "pub fn schedule() -> u64 { let spf_delay_ms = 200; spf_delay_ms }\n\
+                 pub fn fine() -> u64 { let width = 200; width }\n\
+                 pub fn mix(detect_ms: u64, budget_us: u64) -> bool { detect_ms > budget_us }\n\
+                 pub fn micros() -> D { D::from_micros(200_000) }",
+            )],
+            "timer",
+        );
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        let all = hits.join("\n");
+        assert!(all.contains("spf_delay_ms"), "{all}");
+        assert!(all.contains("SPF_INITIAL_DELAY"), "{all}");
+        assert!(all.contains("mixes milliseconds"), "{all}");
+        assert!(all.contains("from_micros(200000)") || all.contains("from_micros(200_000)"));
+    }
+
+    #[test]
+    fn timer_provenance_respects_symbolic_refs_and_scope() {
+        let hits = run(
+            &[
+                (
+                    "crates/routing/src/spf.rs",
+                    "dcn_routing",
+                    "use dcn_sim::timers;\n\
+                     pub fn good() -> D { D::from_millis(timers::SPF_INITIAL_DELAY_MS) }",
+                ),
+                (
+                    // Out of timer scope entirely.
+                    "crates/emu/src/lib.rs",
+                    "dcn_emu",
+                    "pub fn elsewhere() -> u64 { let spf_delay_ms = 200; spf_delay_ms }",
+                ),
+            ],
+            "timer",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn panic_indexing_flags_non_test_indexing() {
+        let hits = run(
+            &[(
+                "crates/core/src/lib.rs",
+                "f2tree",
+                "pub fn first(xs: &[u64]) -> u64 { xs[0] }\n\
+                 pub fn safe(xs: &[u64]) -> u64 { xs.first().copied().unwrap_or(0) }\n\
+                 pub fn waived(xs: &[u64]) -> u64 { xs[0] } // lint:allow(panic-indexing)\n\
+                 #[cfg(test)] mod tests { fn t(xs: &[u64]) -> u64 { xs[1] } }",
+            )],
+            "index",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+}

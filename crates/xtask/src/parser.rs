@@ -1,0 +1,1794 @@
+//! Tolerant recursive-descent parser: token stream → [`crate::ast`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** Every loop either consumes a token or
+//!    breaks; expression recursion is depth-capped. Malformed input
+//!    degrades to [`ExprKind::Unknown`], never to a crash.
+//! 2. **Precise where the rules look.** Items, attributes, `use` trees,
+//!    `let` bindings, calls, method calls, paths and literals are parsed
+//!    faithfully — these carry the semantic rule packs.
+//! 3. **Cheerfully lossy elsewhere.** Types, generics, where-clauses and
+//!    patterns are skipped with bracket matching; only the binding names
+//!    inside patterns are retained (for dataflow).
+//!
+//! The grammar subset is tuned to this workspace: stable Rust 2021, no
+//! async, no exotic macros in library code.
+
+use crate::ast::{
+    Attr, Block, Expr, ExprKind, File, FnItem, Item, ItemKind, Lit, Stmt, UseEntry,
+};
+use crate::diag::Span;
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Parses a lexed file into items.
+pub fn parse_file(lexed: &Lexed) -> File {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+        depth: 0,
+    };
+    File {
+        items: p.parse_items(false),
+    }
+}
+
+/// Expression recursion cap: beyond this we give up and emit Unknown.
+const MAX_DEPTH: u32 = 200;
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'t> Parser<'t> {
+    // --- token cursor ---------------------------------------------------
+
+    fn tok(&self) -> Option<&'t Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn tok_at(&self, n: usize) -> Option<&'t Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn span(&self) -> Span {
+        match self.tok().or_else(|| self.toks.last()) {
+            Some(t) => Span::new(t.line, t.col),
+            None => Span::default(),
+        }
+    }
+
+    fn ident(&self) -> Option<&'t str> {
+        match self.tok().map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn ident_at(&self, n: usize) -> Option<&'t str> {
+        match self.tok_at(n).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, c: char) -> bool {
+        matches!(self.tok().map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+    }
+
+    fn punct_at(&self, n: usize, c: char) -> bool {
+        matches!(self.tok_at(n).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.ident() == Some(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `::` as two adjacent colon puncts.
+    fn at_path_sep(&self) -> bool {
+        self.punct(':') && self.punct_at(1, ':')
+    }
+
+    // --- skipping helpers ----------------------------------------------
+
+    /// Skips a balanced `(`/`[`/`{` group, cursor on the opener.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.tok().map(|t| &t.kind) {
+            Some(TokenKind::Punct('(')) => ('(', ')'),
+            Some(TokenKind::Punct('[')) => ('[', ']'),
+            Some(TokenKind::Punct('{')) => ('{', '}'),
+            _ => return,
+        };
+        let mut depth = 0i64;
+        while let Some(t) = self.tok() {
+            match &t.kind {
+                TokenKind::Punct(p) if *p == open => depth += 1,
+                TokenKind::Punct(p) if *p == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a generic-argument list, cursor on the `<`. `->` inside
+    /// (`Fn() -> T`) does not close the list; `>>` closes two levels.
+    fn skip_angles(&mut self) {
+        if !self.punct('<') {
+            return;
+        }
+        let mut depth = 0i64;
+        let mut budget = 4096usize;
+        while let Some(t) = self.tok() {
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                return;
+            }
+            match &t.kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('-') if self.punct_at(1, '>') => {
+                    self.bump(); // skip `-` so the `>` is not a closer
+                }
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                    self.skip_balanced();
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips type-ish tokens until one of `stops` appears at zero
+    /// paren/bracket/angle depth. Leaves the cursor on the stop token.
+    fn skip_until_stops(&mut self, stops: &[char], stop_idents: &[&str]) {
+        let mut angle = 0i64;
+        while let Some(t) = self.tok() {
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{')
+                    if angle == 0 && stops.contains(&punct_char(t).unwrap_or(' ')) =>
+                {
+                    return;
+                }
+                TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                    self.skip_balanced();
+                    continue;
+                }
+                TokenKind::Punct('{') => {
+                    // `{` is either a stop (handled above) or a block to
+                    // skip (const-generic defaults), but never silently
+                    // consumed as a lone token.
+                    self.skip_balanced();
+                    continue;
+                }
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('-') if self.punct_at(1, '>') => {
+                    self.bump();
+                }
+                TokenKind::Punct('>') if angle > 0 => angle -= 1,
+                TokenKind::Punct(p) if angle == 0 && stops.contains(p) => return,
+                TokenKind::Ident(s) if angle == 0 && stop_idents.iter().any(|x| x == s) => {
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // --- attributes -----------------------------------------------------
+
+    fn parse_attrs(&mut self) -> Vec<Attr> {
+        let mut attrs = Vec::new();
+        loop {
+            if self.punct('#') && self.punct_at(1, '[') {
+                self.bump(); // #
+                let mut idents = Vec::new();
+                let mut depth = 0i64;
+                while let Some(t) = self.tok() {
+                    match &t.kind {
+                        TokenKind::Punct('[') | TokenKind::Punct('(') => depth += 1,
+                        TokenKind::Punct(']') | TokenKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                self.bump();
+                                break;
+                            }
+                        }
+                        TokenKind::Ident(s) => idents.push(s.clone()),
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                attrs.push(Attr { idents });
+            } else if self.punct('#') && self.punct_at(1, '!') && self.punct_at(2, '[') {
+                // Inner attribute `#![...]`: skip entirely.
+                self.bump();
+                self.bump();
+                self.skip_balanced();
+            } else {
+                return attrs;
+            }
+        }
+    }
+
+    // --- items ----------------------------------------------------------
+
+    fn parse_items(&mut self, until_brace: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            if self.at_eof() || (until_brace && self.punct('}')) {
+                return items;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // always make progress
+            }
+        }
+    }
+
+    fn parse_item(&mut self) -> Option<Item> {
+        let attrs = self.parse_attrs();
+        let span = self.span();
+        // Visibility.
+        if self.eat_ident("pub") {
+            if self.punct('(') {
+                self.skip_balanced();
+            }
+        }
+        // Leading modifiers.
+        loop {
+            match self.ident() {
+                Some("default") | Some("async") | Some("unsafe") => {
+                    self.bump();
+                }
+                Some("const") if self.ident_at(1) == Some("fn") => {
+                    self.bump();
+                }
+                Some("extern") => {
+                    self.bump();
+                    if self.eat_ident("crate") {
+                        self.skip_until_stops(&[';'], &[]);
+                        self.eat_punct(';');
+                        return Some(Item {
+                            span,
+                            attrs,
+                            kind: ItemKind::Other { name: None },
+                        });
+                    }
+                    if matches!(self.tok().map(|t| &t.kind), Some(TokenKind::Literal)) {
+                        self.bump(); // ABI string
+                    }
+                    if self.punct('{') {
+                        self.skip_balanced();
+                        return Some(Item {
+                            span,
+                            attrs,
+                            kind: ItemKind::Other { name: None },
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        let kind = match self.ident() {
+            Some("use") => {
+                self.bump();
+                let mut entries = Vec::new();
+                self.parse_use_tree(Vec::new(), &mut entries);
+                self.eat_punct(';');
+                ItemKind::Use(entries)
+            }
+            Some("fn") => {
+                self.bump();
+                ItemKind::Fn(self.parse_fn_after_kw())
+            }
+            Some("mod") => {
+                self.bump();
+                let name = self.take_ident().unwrap_or_default();
+                if self.punct('{') {
+                    self.bump();
+                    let items = self.parse_items(true);
+                    self.eat_punct('}');
+                    ItemKind::Mod {
+                        name,
+                        items: Some(items),
+                    }
+                } else {
+                    self.eat_punct(';');
+                    ItemKind::Mod { name, items: None }
+                }
+            }
+            Some("impl") => {
+                self.bump();
+                if self.punct('<') {
+                    self.skip_angles();
+                }
+                let first = self.parse_type_path_last();
+                let (type_name, trait_name) = if self.eat_ident("for") {
+                    let ty = self.parse_type_path_last();
+                    (ty, Some(first))
+                } else {
+                    (first, None)
+                };
+                self.skip_until_stops(&['{', ';'], &[]);
+                let items = if self.punct('{') {
+                    self.bump();
+                    let items = self.parse_items(true);
+                    self.eat_punct('}');
+                    items
+                } else {
+                    self.eat_punct(';');
+                    Vec::new()
+                };
+                ItemKind::Impl {
+                    type_name,
+                    trait_name,
+                    items,
+                }
+            }
+            Some("trait") => {
+                self.bump();
+                let name = self.take_ident();
+                self.skip_until_stops(&['{', ';'], &[]);
+                if self.punct('{') {
+                    self.bump();
+                    let items = self.parse_items(true);
+                    self.eat_punct('}');
+                    ItemKind::Impl {
+                        type_name: name.clone().unwrap_or_default(),
+                        trait_name: name,
+                        items,
+                    }
+                } else {
+                    self.eat_punct(';');
+                    ItemKind::Other { name }
+                }
+            }
+            Some("const") | Some("static") => {
+                let is_const = self.ident() == Some("const");
+                self.bump();
+                self.eat_ident("mut"); // static mut
+                let name = self.take_ident().unwrap_or_default();
+                self.skip_until_stops(&['=', ';'], &[]);
+                let init = if self.eat_punct('=') {
+                    Some(self.parse_expr(true))
+                } else {
+                    None
+                };
+                self.eat_punct(';');
+                if is_const {
+                    ItemKind::Const { name, init }
+                } else {
+                    ItemKind::Static { name, init }
+                }
+            }
+            Some("struct") | Some("enum") | Some("union") => {
+                self.bump();
+                let name = self.take_ident();
+                if self.punct('<') {
+                    self.skip_angles();
+                }
+                self.skip_until_stops(&['{', '(', ';'], &[]);
+                if self.punct('{') {
+                    self.skip_balanced();
+                } else if self.punct('(') {
+                    self.skip_balanced();
+                    self.skip_until_stops(&[';'], &[]);
+                    self.eat_punct(';');
+                } else {
+                    self.eat_punct(';');
+                }
+                ItemKind::Other { name }
+            }
+            Some("type") => {
+                self.bump();
+                let name = self.take_ident();
+                self.skip_until_stops(&[';'], &[]);
+                self.eat_punct(';');
+                ItemKind::Other { name }
+            }
+            Some("macro_rules") => {
+                self.bump();
+                self.eat_punct('!');
+                let name = self.take_ident();
+                if self.punct('{') || self.punct('(') || self.punct('[') {
+                    self.skip_balanced();
+                }
+                self.eat_punct(';');
+                ItemKind::Other { name }
+            }
+            // Item-position macro invocation: `name!{...};`
+            Some(_) if self.punct_at(1, '!') => {
+                let name = self.take_ident();
+                self.bump(); // !
+                if self.punct('{') || self.punct('(') || self.punct('[') {
+                    self.skip_balanced();
+                }
+                self.eat_punct(';');
+                ItemKind::Other { name }
+            }
+            _ => return None,
+        };
+        Some(Item { span, attrs, kind })
+    }
+
+    fn take_ident(&mut self) -> Option<String> {
+        let s = self.ident().map(str::to_string);
+        if s.is_some() {
+            self.bump();
+        }
+        s
+    }
+
+    /// Last segment of a type path (`dcn_sim::SimRng` → `SimRng`),
+    /// tolerating leading `&`/`dyn`/lifetimes and trailing generics.
+    fn parse_type_path_last(&mut self) -> String {
+        while self.punct('&') || self.ident() == Some("dyn") || self.ident() == Some("mut") {
+            self.bump();
+        }
+        if self.punct('(') {
+            self.skip_balanced();
+            return String::new();
+        }
+        let mut last = String::new();
+        loop {
+            match self.ident() {
+                Some(s) => {
+                    last = s.to_string();
+                    self.bump();
+                }
+                None => break,
+            }
+            if self.punct('<') {
+                self.skip_angles();
+            }
+            if self.at_path_sep() {
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    fn parse_use_tree(&mut self, prefix: Vec<String>, out: &mut Vec<UseEntry>) {
+        let mut path = prefix;
+        loop {
+            if self.punct('{') {
+                self.bump();
+                loop {
+                    if self.punct('}') || self.at_eof() {
+                        self.eat_punct('}');
+                        return;
+                    }
+                    let before = self.pos;
+                    self.parse_use_tree(path.clone(), out);
+                    self.eat_punct(',');
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+            }
+            if self.punct('*') {
+                self.bump();
+                path.push("*".to_string());
+                out.push(UseEntry {
+                    alias: "*".to_string(),
+                    path,
+                });
+                return;
+            }
+            let Some(seg) = self.take_ident() else {
+                return;
+            };
+            path.push(seg.clone());
+            if self.at_path_sep() {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.eat_ident("as") {
+                let alias = self.take_ident().unwrap_or(seg);
+                out.push(UseEntry { alias, path });
+            } else {
+                out.push(UseEntry { alias: seg, path });
+            }
+            return;
+        }
+    }
+
+    fn parse_fn_after_kw(&mut self) -> FnItem {
+        let name = self.take_ident().unwrap_or_default();
+        if self.punct('<') {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.punct('(') {
+            self.parse_params(&mut params);
+        }
+        // Return type and where clause.
+        if self.punct('-') && self.punct_at(1, '>') {
+            self.bump();
+            self.bump();
+            self.skip_until_stops(&['{', ';'], &["where"]);
+        }
+        if self.ident() == Some("where") {
+            self.skip_until_stops(&['{', ';'], &[]);
+        }
+        let body = if self.punct('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnItem { name, params, body }
+    }
+
+    /// Parses `(pat: Type, ...)`, collecting binding names.
+    fn parse_params(&mut self, params: &mut Vec<String>) {
+        self.bump(); // (
+        let mut depth = 1i64;
+        let mut in_pattern = true;
+        let mut angle = 0i64;
+        while let Some(t) = self.tok() {
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                    depth += 1
+                }
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('-') if self.punct_at(1, '>') => {
+                    self.bump();
+                }
+                TokenKind::Punct('>') if angle > 0 => angle -= 1,
+                TokenKind::Punct(':') if depth == 1 && angle == 0 && !self.punct_at(1, ':') => {
+                    in_pattern = false;
+                }
+                TokenKind::Punct(':') if self.punct_at(1, ':') => {
+                    self.bump(); // path separator inside a type
+                }
+                TokenKind::Punct(',') if depth == 1 && angle == 0 => {
+                    in_pattern = true;
+                }
+                TokenKind::Ident(s) if in_pattern && depth == 1 => {
+                    if s == "self" {
+                        params.push("self".to_string());
+                        in_pattern = false;
+                    } else if is_binding_name(s) {
+                        params.push(s.clone());
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // --- statements -----------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        if !self.eat_punct('{') {
+            return block;
+        }
+        loop {
+            if self.at_eof() {
+                return block;
+            }
+            if self.eat_punct('}') {
+                return block;
+            }
+            let before = self.pos;
+            if self.punct(';') {
+                self.bump();
+                continue;
+            }
+            if self.is_item_start() {
+                if let Some(item) = self.parse_item() {
+                    block.stmts.push(Stmt::Item(item));
+                }
+            } else if self.ident() == Some("let") {
+                block.stmts.push(self.parse_let());
+            } else {
+                let e = self.parse_expr(true);
+                self.eat_punct(';');
+                block.stmts.push(Stmt::Expr(e));
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+    }
+
+    /// Is the cursor at the start of a (possibly attributed) item?
+    fn is_item_start(&self) -> bool {
+        let mut n = 0usize;
+        // Look past attributes.
+        while self.punct_at(n, '#') && self.punct_at(n + 1, '[') {
+            let mut depth = 0i64;
+            let mut m = n + 1;
+            loop {
+                match self.tok_at(m).map(|t| &t.kind) {
+                    Some(TokenKind::Punct('[')) => depth += 1,
+                    Some(TokenKind::Punct(']')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            m += 1;
+                            break;
+                        }
+                    }
+                    None => return false,
+                    _ => {}
+                }
+                m += 1;
+            }
+            n = m;
+        }
+        let mut kw = self.ident_at(n);
+        if kw == Some("pub") {
+            kw = self.ident_at(n + 1);
+        }
+        matches!(
+            kw,
+            Some("fn")
+                | Some("use")
+                | Some("mod")
+                | Some("impl")
+                | Some("struct")
+                | Some("enum")
+                | Some("union")
+                | Some("trait")
+                | Some("type")
+                | Some("static")
+                | Some("macro_rules")
+        ) || (kw == Some("const") && self.ident_at(n + 1) != Some("fn") && {
+            // `const NAME:` item vs `const fn`; const blocks don't occur.
+            self.ident_at(n + 1).is_some()
+        }) || (kw == Some("const") && self.ident_at(n + 1) == Some("fn"))
+            || (kw == Some("unsafe") && self.ident_at(n + 1) == Some("fn"))
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let span = self.span();
+        self.bump(); // let
+        let mut names = Vec::new();
+        self.collect_pattern_names(&['=', ':', ';'], &[], &mut names);
+        if self.punct(':') {
+            self.bump();
+            self.skip_until_stops(&['=', ';'], &["else"]);
+        }
+        let init = if self.eat_punct('=') {
+            Some(self.parse_expr(true))
+        } else {
+            None
+        };
+        // let-else.
+        if self.eat_ident("else") {
+            if self.punct('{') {
+                let _ = self.parse_block();
+            }
+        }
+        self.eat_punct(';');
+        Stmt::Let { span, names, init }
+    }
+
+    /// Scans pattern tokens until a stop punct/ident at depth 0,
+    /// collecting binding-name candidates.
+    fn collect_pattern_names(
+        &mut self,
+        stops: &[char],
+        stop_idents: &[&str],
+        names: &mut Vec<String>,
+    ) {
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        while let Some(t) = self.tok() {
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                    depth += 1
+                }
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct('<') if depth == 0 => angle += 1,
+                TokenKind::Punct('>') if depth == 0 && angle > 0 => angle -= 1,
+                TokenKind::Punct('=')
+                    if self.pos >= 2
+                        && punct_char_at(self.toks, self.pos - 1) == Some('.')
+                        && punct_char_at(self.toks, self.pos - 2) == Some('.') =>
+                {
+                    // `..=` inside a range pattern: not the `=` stop.
+                }
+                TokenKind::Punct(p) if depth == 0 && angle == 0 && stops.contains(p) => {
+                    return;
+                }
+                TokenKind::Ident(s)
+                    if depth == 0 && angle == 0 && stop_idents.iter().any(|x| x == s) =>
+                {
+                    return;
+                }
+                TokenKind::Ident(s) => {
+                    // A binding, unless it is a path segment (`a::b`) or
+                    // followed by `::` (enum variant path).
+                    let prev_sep = self.pos >= 2
+                        && punct_char_at(self.toks, self.pos - 1) == Some(':')
+                        && punct_char_at(self.toks, self.pos - 2) == Some(':');
+                    let next_sep = self.punct_at(1, ':') && self.punct_at(2, ':');
+                    if is_binding_name(s) && !prev_sep && !next_sep {
+                        names.push(s.clone());
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // --- expressions ----------------------------------------------------
+
+    fn parse_expr(&mut self, allow_struct: bool) -> Expr {
+        self.depth += 1;
+        let e = if self.depth > MAX_DEPTH {
+            let span = self.span();
+            self.bump();
+            Expr::unknown(span)
+        } else {
+            self.parse_assign(allow_struct)
+        };
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_assign(&mut self, allow_struct: bool) -> Expr {
+        let span = self.span();
+        let lhs = self.parse_range(allow_struct);
+        // `=` (not `==`, not `=>`).
+        if self.punct('=') && !self.punct_at(1, '=') && !self.punct_at(1, '>') {
+            self.bump();
+            let rhs = self.parse_expr(allow_struct);
+            return Expr {
+                span,
+                kind: ExprKind::Assign {
+                    place: Box::new(lhs),
+                    value: Box::new(rhs),
+                },
+            };
+        }
+        // Compound assignment: `op=` for + - * / % & | ^ and `<<=`/`>>=`.
+        for op in ['+', '-', '*', '/', '%', '&', '|', '^'] {
+            if self.punct(op) && self.punct_at(1, '=') && !self.punct_at(2, '=') {
+                // `&&=`/`||=` don't exist; `a &= b` is fine. Exclude
+                // `a != b` (`!` is unary, not reachable here) and
+                // comparison `<=`/`>=` (different op chars).
+                self.bump();
+                self.bump();
+                let rhs = self.parse_expr(allow_struct);
+                return Expr {
+                    span,
+                    kind: ExprKind::Assign {
+                        place: Box::new(lhs),
+                        value: Box::new(rhs),
+                    },
+                };
+            }
+        }
+        if (self.punct('<') && self.punct_at(1, '<') && self.punct_at(2, '='))
+            || (self.punct('>') && self.punct_at(1, '>') && self.punct_at(2, '='))
+        {
+            self.bump();
+            self.bump();
+            self.bump();
+            let rhs = self.parse_expr(allow_struct);
+            return Expr {
+                span,
+                kind: ExprKind::Assign {
+                    place: Box::new(lhs),
+                    value: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    fn parse_range(&mut self, allow_struct: bool) -> Expr {
+        let span = self.span();
+        let lhs = self.parse_binary(allow_struct, 0);
+        if self.punct('.') && self.punct_at(1, '.') {
+            self.bump();
+            self.bump();
+            self.eat_punct('=');
+            if self.at_expr_start() {
+                let rhs = self.parse_binary(allow_struct, 0);
+                return Expr {
+                    span,
+                    kind: ExprKind::Binary {
+                        op: "..",
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                };
+            }
+            return Expr {
+                span,
+                kind: ExprKind::Binary {
+                    op: "..",
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(Expr::unknown(span)),
+                },
+            };
+        }
+        lhs
+    }
+
+    /// Does the cursor plausibly start an expression?
+    fn at_expr_start(&self) -> bool {
+        match self.tok().map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => {
+                !matches!(s.as_str(), "else" | "in" | "where" | "as")
+            }
+            Some(TokenKind::Int(..)) | Some(TokenKind::Literal) => true,
+            Some(TokenKind::Punct(p)) => matches!(p, '(' | '[' | '{' | '&' | '*' | '!' | '-' | '|'),
+            None => false,
+        }
+    }
+
+    /// Precedence-climbing binary-operator parser. `min_prec` is the
+    /// minimum binding power to accept.
+    fn parse_binary(&mut self, allow_struct: bool, min_prec: u8) -> Expr {
+        let span = self.span();
+        let mut lhs = self.parse_cast(allow_struct);
+        loop {
+            let Some((op, prec, len)) = self.peek_binary_op() else {
+                return lhs;
+            };
+            if prec < min_prec {
+                return lhs;
+            }
+            for _ in 0..len {
+                self.bump();
+            }
+            let rhs = self.parse_binary(allow_struct, prec + 1);
+            lhs = Expr {
+                span,
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+    }
+
+    /// (spelling, precedence, token count) of the binary operator at the
+    /// cursor, if any. Higher precedence binds tighter.
+    fn peek_binary_op(&self) -> Option<(&'static str, u8, usize)> {
+        let a = punct_char_at(self.toks, self.pos)?;
+        let b = punct_char_at(self.toks, self.pos + 1);
+        let c = punct_char_at(self.toks, self.pos + 2);
+        match (a, b) {
+            ('|', Some('|')) => Some(("||", 1, 2)),
+            ('&', Some('&')) => Some(("&&", 2, 2)),
+            ('=', Some('=')) => Some(("==", 3, 2)),
+            ('!', Some('=')) => Some(("!=", 3, 2)),
+            ('<', Some('=')) => Some(("<=", 3, 2)),
+            ('>', Some('=')) if c != Some('=') => Some((">=", 3, 2)),
+            // `<<=` / `>>=` are compound assignments, not shifts.
+            ('<', Some('<')) if c == Some('=') => None,
+            ('>', Some('>')) if c == Some('=') => None,
+            ('<', Some('<')) => Some(("<<", 7, 2)),
+            ('>', Some('>')) => Some((">>", 7, 2)),
+            // `op=` is a compound assignment handled by parse_assign.
+            ('+' | '-' | '*' | '/' | '%' | '^' | '|' | '&', Some('=')) => None,
+            ('<', _) => Some(("<", 3, 1)),
+            ('>', _) => Some((">", 3, 1)),
+            ('|', _) => Some(("|", 4, 1)),
+            ('^', _) => Some(("^", 5, 1)),
+            ('&', _) => Some(("&", 6, 1)),
+            ('+', _) => Some(("+", 8, 1)),
+            ('-', _) => Some(("-", 8, 1)),
+            ('*', _) => Some(("*", 9, 1)),
+            ('/', _) => Some(("/", 9, 1)),
+            ('%', _) => Some(("%", 9, 1)),
+            _ => None,
+        }
+    }
+
+    fn parse_cast(&mut self, allow_struct: bool) -> Expr {
+        let mut e = self.parse_unary(allow_struct);
+        while self.eat_ident("as") {
+            // Skip the target type.
+            while self.punct('&') || self.punct('*') || self.ident() == Some("mut") {
+                self.bump();
+            }
+            if self.punct('(') {
+                self.skip_balanced();
+            } else {
+                loop {
+                    if self.take_ident().is_none() {
+                        break;
+                    }
+                    if self.punct('<') {
+                        self.skip_angles();
+                    }
+                    if self.at_path_sep() {
+                        self.bump();
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // The cast keeps the operand's dataflow identity.
+            let _ = &e;
+        }
+        e = self.parse_postfix_onto(e);
+        e
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> Expr {
+        let span = self.span();
+        if self.punct('&') {
+            self.bump();
+            if self.punct('&') {
+                self.bump(); // `&&x` double reference
+            }
+            self.eat_ident("mut");
+            let inner = self.parse_unary(allow_struct);
+            return Expr {
+                span,
+                kind: ExprKind::Ref(Box::new(inner)),
+            };
+        }
+        if self.punct('*') || self.punct('!') || self.punct('-') {
+            self.bump();
+            let inner = self.parse_unary(allow_struct);
+            return Expr {
+                span,
+                kind: ExprKind::Unary(Box::new(inner)),
+            };
+        }
+        let prim = self.parse_primary(allow_struct);
+        self.parse_postfix_onto(prim)
+    }
+
+    fn parse_postfix_onto(&mut self, mut e: Expr) -> Expr {
+        loop {
+            if self.punct('.') && !self.punct_at(1, '.') {
+                let span = e.span;
+                self.bump();
+                // Tuple index `.0`.
+                if let Some(TokenKind::Int(_, raw)) = self.tok().map(|t| &t.kind) {
+                    let name = raw.clone();
+                    self.bump();
+                    e = Expr {
+                        span,
+                        kind: ExprKind::Field {
+                            recv: Box::new(e),
+                            name,
+                        },
+                    };
+                    continue;
+                }
+                let Some(name) = self.take_ident() else {
+                    return e;
+                };
+                if name == "await" {
+                    continue;
+                }
+                // Turbofish: `.collect::<...>()`.
+                if self.at_path_sep() && self.punct_at(2, '<') {
+                    self.bump();
+                    self.bump();
+                    self.skip_angles();
+                }
+                if self.punct('(') {
+                    let args = self.parse_call_args();
+                    e = Expr {
+                        span,
+                        kind: ExprKind::MethodCall {
+                            recv: Box::new(e),
+                            method: name,
+                            args,
+                        },
+                    };
+                } else {
+                    e = Expr {
+                        span,
+                        kind: ExprKind::Field {
+                            recv: Box::new(e),
+                            name,
+                        },
+                    };
+                }
+                continue;
+            }
+            if self.punct('(') {
+                let span = e.span;
+                let args = self.parse_call_args();
+                e = Expr {
+                    span,
+                    kind: ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                };
+                continue;
+            }
+            if self.punct('[') {
+                let span = self.span();
+                self.bump();
+                let index = self.parse_expr(true);
+                self.eat_punct(']');
+                e = Expr {
+                    span,
+                    kind: ExprKind::Index {
+                        recv: Box::new(e),
+                        index: Box::new(index),
+                    },
+                };
+                continue;
+            }
+            if self.punct('?') {
+                let span = e.span;
+                self.bump();
+                e = Expr {
+                    span,
+                    kind: ExprKind::Try(Box::new(e)),
+                };
+                continue;
+            }
+            return e;
+        }
+    }
+
+    /// Cursor on `(`: parses comma-separated arguments.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        self.bump(); // (
+        let mut args = Vec::new();
+        loop {
+            if self.at_eof() || self.eat_punct(')') {
+                return args;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(true));
+            self.eat_punct(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_primary(&mut self, allow_struct: bool) -> Expr {
+        let span = self.span();
+        match self.tok().map(|t| t.kind.clone()) {
+            Some(TokenKind::Int(v, raw)) => {
+                self.bump();
+                Expr {
+                    span,
+                    kind: ExprKind::Lit(Lit::Int(v, raw)),
+                }
+            }
+            Some(TokenKind::Literal) => {
+                self.bump();
+                Expr {
+                    span,
+                    kind: ExprKind::Lit(Lit::Other),
+                }
+            }
+            Some(TokenKind::Punct('(')) => {
+                self.bump();
+                let mut elems = Vec::new();
+                let mut saw_comma = false;
+                loop {
+                    if self.at_eof() || self.eat_punct(')') {
+                        break;
+                    }
+                    let before = self.pos;
+                    elems.push(self.parse_expr(true));
+                    if self.eat_punct(',') {
+                        saw_comma = true;
+                    }
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                if elems.len() == 1 && !saw_comma {
+                    match elems.pop() {
+                        Some(e) => e,
+                        None => Expr::unknown(span),
+                    }
+                } else {
+                    Expr {
+                        span,
+                        kind: ExprKind::Tuple(elems),
+                    }
+                }
+            }
+            Some(TokenKind::Punct('[')) => {
+                self.bump();
+                let mut elems = Vec::new();
+                loop {
+                    if self.at_eof() || self.eat_punct(']') {
+                        break;
+                    }
+                    let before = self.pos;
+                    elems.push(self.parse_expr(true));
+                    let _ = self.eat_punct(',') || self.eat_punct(';');
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                Expr {
+                    span,
+                    kind: ExprKind::Tuple(elems),
+                }
+            }
+            Some(TokenKind::Punct('{')) => Expr {
+                span,
+                kind: ExprKind::Block(self.parse_block()),
+            },
+            Some(TokenKind::Punct('|')) => self.parse_closure(span),
+            Some(TokenKind::Punct('.')) if self.punct_at(1, '.') => {
+                self.bump();
+                self.bump();
+                self.eat_punct('=');
+                if self.at_expr_start() {
+                    let rhs = self.parse_binary(allow_struct, 0);
+                    Expr {
+                        span,
+                        kind: ExprKind::Binary {
+                            op: "..",
+                            lhs: Box::new(Expr::unknown(span)),
+                            rhs: Box::new(rhs),
+                        },
+                    }
+                } else {
+                    Expr::unknown(span)
+                }
+            }
+            Some(TokenKind::Punct('#')) => {
+                // Expression-position attribute (e.g. on a match arm):
+                // skip it and retry once.
+                let _ = self.parse_attrs();
+                if self.punct('#') {
+                    self.bump();
+                    return Expr::unknown(span);
+                }
+                self.parse_primary(allow_struct)
+            }
+            Some(TokenKind::Ident(id)) => self.parse_ident_expr(span, &id, allow_struct),
+            _ => {
+                self.bump();
+                Expr::unknown(span)
+            }
+        }
+    }
+
+    fn parse_closure(&mut self, span: Span) -> Expr {
+        // Cursor on `|` (or the first of `||`).
+        let mut params = Vec::new();
+        self.bump();
+        if !self.eat_punct('|') {
+            // Parameters until the closing `|`.
+            let mut depth = 0i64;
+            while let Some(t) = self.tok() {
+                match &t.kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('>') => {
+                        depth -= 1
+                    }
+                    TokenKind::Punct('|') if depth <= 0 => {
+                        self.bump();
+                        break;
+                    }
+                    TokenKind::Ident(s) if depth <= 0 && is_binding_name(s) => {
+                        let prev_colon = self.pos >= 1
+                            && punct_char_at(self.toks, self.pos - 1) == Some(':');
+                        if !prev_colon {
+                            params.push(s.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+        if self.punct('-') && self.punct_at(1, '>') {
+            self.bump();
+            self.bump();
+            self.skip_until_stops(&['{'], &[]);
+        }
+        let body = self.parse_expr(true);
+        Expr {
+            span,
+            kind: ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+        }
+    }
+
+    fn parse_ident_expr(&mut self, span: Span, id: &str, allow_struct: bool) -> Expr {
+        match id {
+            "true" | "false" => {
+                self.bump();
+                Expr {
+                    span,
+                    kind: ExprKind::Lit(Lit::Bool(id == "true")),
+                }
+            }
+            "move" => {
+                self.bump();
+                if self.punct('|') {
+                    self.parse_closure(span)
+                } else {
+                    self.parse_primary(allow_struct)
+                }
+            }
+            "unsafe" => {
+                self.bump();
+                Expr {
+                    span,
+                    kind: ExprKind::Block(self.parse_block()),
+                }
+            }
+            "if" => self.parse_if(span),
+            "match" => self.parse_match(span),
+            "while" => {
+                self.bump();
+                if self.eat_ident("let") {
+                    let mut names = Vec::new();
+                    self.collect_pattern_names(&['='], &[], &mut names);
+                    self.eat_punct('=');
+                }
+                let cond = self.parse_expr(false);
+                let body = self.parse_block();
+                Expr {
+                    span,
+                    kind: ExprKind::Loop {
+                        head: Some(Box::new(cond)),
+                        body,
+                    },
+                }
+            }
+            "for" => {
+                self.bump();
+                let mut names = Vec::new();
+                self.collect_pattern_names(&[], &["in"], &mut names);
+                self.eat_ident("in");
+                let iter = self.parse_expr(false);
+                let body = self.parse_block();
+                // Desugar: bindings of a for-loop are a `let` of
+                // `<head>.into_iter()`, so hash-iteration taint flows
+                // from the iterated value into the loop bindings.
+                let iter = Expr {
+                    span: iter.span,
+                    kind: ExprKind::MethodCall {
+                        recv: Box::new(iter),
+                        method: "into_iter".to_string(),
+                        args: Vec::new(),
+                    },
+                };
+                let mut stmts = vec![Stmt::Let {
+                    span,
+                    names,
+                    init: Some(iter),
+                }];
+                stmts.extend(body.stmts);
+                Expr {
+                    span,
+                    kind: ExprKind::Loop {
+                        head: None,
+                        body: Block { stmts },
+                    },
+                }
+            }
+            "loop" => {
+                self.bump();
+                let body = self.parse_block();
+                Expr {
+                    span,
+                    kind: ExprKind::Loop { head: None, body },
+                }
+            }
+            "return" | "break" => {
+                self.bump();
+                if id == "break" {
+                    // Optional loop label.
+                    if self.ident().is_some() && !self.at_expr_start() {
+                        self.bump();
+                    }
+                }
+                let value = if self.at_expr_start() {
+                    Some(Box::new(self.parse_expr(allow_struct)))
+                } else {
+                    None
+                };
+                Expr {
+                    span,
+                    kind: ExprKind::Return(value),
+                }
+            }
+            "continue" => {
+                self.bump();
+                Expr {
+                    span,
+                    kind: ExprKind::Tuple(Vec::new()),
+                }
+            }
+            _ => self.parse_path_expr(span, allow_struct),
+        }
+    }
+
+    fn parse_if(&mut self, span: Span) -> Expr {
+        self.bump(); // if
+        if self.eat_ident("let") {
+            let mut names = Vec::new();
+            self.collect_pattern_names(&['='], &[], &mut names);
+            self.eat_punct('=');
+        }
+        let cond = self.parse_expr(false);
+        let then = self.parse_block();
+        let els = if self.eat_ident("else") {
+            if self.ident() == Some("if") {
+                let espan = self.span();
+                Some(Box::new(self.parse_if(espan)))
+            } else {
+                let espan = self.span();
+                Some(Box::new(Expr {
+                    span: espan,
+                    kind: ExprKind::Block(self.parse_block()),
+                }))
+            }
+        } else {
+            None
+        };
+        Expr {
+            span,
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then,
+                els,
+            },
+        }
+    }
+
+    fn parse_match(&mut self, span: Span) -> Expr {
+        self.bump(); // match
+        let scrutinee = self.parse_expr(false);
+        let mut arms = Vec::new();
+        if self.eat_punct('{') {
+            loop {
+                if self.at_eof() || self.eat_punct('}') {
+                    break;
+                }
+                let before = self.pos;
+                // Pattern (and optional guard) up to `=>`.
+                self.skip_to_fat_arrow();
+                let body = self.parse_expr(true);
+                arms.push(body);
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+        }
+        Expr {
+            span,
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+        }
+    }
+
+    /// Skips pattern + guard tokens up to and including `=>` at depth 0.
+    fn skip_to_fat_arrow(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.tok() {
+            match &t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                    depth += 1
+                }
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        return; // unclosed arm list: leave `}` for caller
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct('=') if depth == 0 && self.punct_at(1, '>') => {
+                    self.bump();
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_path_expr(&mut self, span: Span, allow_struct: bool) -> Expr {
+        let mut segments = Vec::new();
+        loop {
+            let Some(seg) = self.take_ident() else {
+                break;
+            };
+            segments.push(seg);
+            // Turbofish `::<...>` or path continuation `::seg`.
+            if self.at_path_sep() {
+                if self.punct_at(2, '<') {
+                    self.bump();
+                    self.bump();
+                    self.skip_angles();
+                    if self.at_path_sep() {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        if segments.is_empty() {
+            self.bump();
+            return Expr::unknown(span);
+        }
+        // Macro call.
+        if self.punct('!') && !self.punct_at(1, '=') {
+            self.bump();
+            let args = self.parse_macro_args();
+            return Expr {
+                span,
+                kind: ExprKind::MacroCall {
+                    path: segments,
+                    args,
+                },
+            };
+        }
+        // Struct literal.
+        if allow_struct && self.punct('{') && looks_like_struct_literal(self.toks, self.pos) {
+            self.bump();
+            let mut fields = Vec::new();
+            loop {
+                if self.at_eof() || self.eat_punct('}') {
+                    break;
+                }
+                let before = self.pos;
+                if self.punct('.') && self.punct_at(1, '.') {
+                    // `..base`
+                    self.bump();
+                    self.bump();
+                    let base = self.parse_expr(true);
+                    fields.push(("..".to_string(), base));
+                } else if let Some(name) = self.take_ident() {
+                    if self.eat_punct(':') {
+                        let value = self.parse_expr(true);
+                        fields.push((name, value));
+                    } else {
+                        // Shorthand `S { name }`.
+                        let value = Expr {
+                            span: self.span(),
+                            kind: ExprKind::Path(vec![name.clone()]),
+                        };
+                        fields.push((name, value));
+                    }
+                }
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            return Expr {
+                span,
+                kind: ExprKind::Struct {
+                    path: segments,
+                    fields,
+                },
+            };
+        }
+        Expr {
+            span,
+            kind: ExprKind::Path(segments),
+        }
+    }
+
+    /// Parses macro arguments from `(...)`, `[...]` or `{...}` as a
+    /// best-effort comma/semicolon-separated expression list; arguments
+    /// that do not parse as expressions degrade to Unknown.
+    fn parse_macro_args(&mut self) -> Vec<Expr> {
+        let close = match self.tok().map(|t| &t.kind) {
+            Some(TokenKind::Punct('(')) => ')',
+            Some(TokenKind::Punct('[')) => ']',
+            Some(TokenKind::Punct('{')) => '}',
+            _ => return Vec::new(),
+        };
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            if self.at_eof() || self.eat_punct(close) {
+                return args;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(true));
+            let _ = self.eat_punct(',') || self.eat_punct(';');
+            if self.pos == before {
+                // Not expression-shaped (macro pattern syntax): skip one
+                // token; the surrounding loop will retry.
+                self.bump();
+            }
+        }
+    }
+}
+
+fn punct_char(t: &Token) -> Option<char> {
+    match t.kind {
+        TokenKind::Punct(p) => Some(p),
+        _ => None,
+    }
+}
+
+fn punct_char_at(toks: &[Token], i: usize) -> Option<char> {
+    toks.get(i).and_then(punct_char)
+}
+
+/// Names that can be pattern bindings (lowercase / underscore start,
+/// not a pattern keyword).
+fn is_binding_name(s: &str) -> bool {
+    let starts_lower = s
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_');
+    starts_lower
+        && !matches!(
+            s,
+            "mut" | "ref" | "box" | "if" | "else" | "in" | "_" | "true" | "false"
+        )
+}
+
+/// Heuristic: is `Path {` at `pos` (the `{`) a struct literal rather
+/// than a block? Checks for `ident:` (not `::`), `ident,`, `ident }`,
+/// `..` or `}` right inside — the shapes struct literals take.
+fn looks_like_struct_literal(toks: &[Token], brace_pos: usize) -> bool {
+    let at = |n: usize| toks.get(brace_pos + n).map(|t| &t.kind);
+    match at(1) {
+        Some(TokenKind::Punct('}')) => true,
+        Some(TokenKind::Punct('.')) => matches!(at(2), Some(TokenKind::Punct('.'))),
+        Some(TokenKind::Ident(_)) => match at(2) {
+            Some(TokenKind::Punct(':')) => !matches!(at(3), Some(TokenKind::Punct(':'))),
+            Some(TokenKind::Punct(',')) | Some(TokenKind::Punct('}')) => true,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> File {
+        parse_file(&lex(src))
+    }
+
+    fn first_fn(file: &File) -> &FnItem {
+        for item in &file.items {
+            if let ItemKind::Fn(f) = &item.kind {
+                return f;
+            }
+        }
+        panic!("no fn parsed");
+    }
+
+    #[test]
+    fn parses_use_trees() {
+        let f = parse("use std::collections::{BTreeMap, BTreeSet as Set};\nuse dcn_sim::timers;");
+        let mut entries = Vec::new();
+        for item in &f.items {
+            if let ItemKind::Use(es) = &item.kind {
+                for e in es {
+                    entries.push((e.alias.clone(), e.path.join("::")));
+                }
+            }
+        }
+        assert!(entries.contains(&("BTreeMap".into(), "std::collections::BTreeMap".into())));
+        assert!(entries.contains(&("Set".into(), "std::collections::BTreeSet".into())));
+        assert!(entries.contains(&("timers".into(), "dcn_sim::timers".into())));
+    }
+
+    #[test]
+    fn parses_fn_params_and_body() {
+        let f = parse("fn add(a: u64, b: u64) -> u64 { let c = a + b; c }");
+        let func = first_fn(&f);
+        assert_eq!(func.name, "add");
+        assert_eq!(func.params, vec!["a", "b"]);
+        let body = func.body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_calls_and_method_chains() {
+        let f = parse("fn f() { let x = SimRng::new(42).fork(1); g(x, 2); }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Some(Stmt::Let { init: Some(e), names, .. }) = body.stmts.first() else {
+            panic!("expected let");
+        };
+        assert_eq!(names, &["x"]);
+        let ExprKind::MethodCall { recv, method, .. } = &e.kind else {
+            panic!("expected method call, got {:?}", e.kind);
+        };
+        assert_eq!(method, "fork");
+        let ExprKind::Call { callee, args } = &recv.kind else {
+            panic!("expected call");
+        };
+        assert_eq!(callee.as_path().map(|p| p.join("::")).as_deref(), Some("SimRng::new"));
+        assert_eq!(args.len(), 1);
+        assert_eq!(args.first().and_then(|a| a.as_int_lit()), Some(42));
+    }
+
+    #[test]
+    fn parses_impl_blocks() {
+        let f = parse("impl fmt::Display for SimRng { fn fmt(&self) -> u64 { 0 } }");
+        let Some(Item { kind: ItemKind::Impl { type_name, trait_name, items }, .. }) =
+            f.items.first()
+        else {
+            panic!("expected impl");
+        };
+        assert_eq!(type_name, "SimRng");
+        assert_eq!(trait_name.as_deref(), Some("Display"));
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_attribute_is_detected() {
+        let f = parse("#[cfg(test)]\nmod tests { fn helper() {} }\nfn lib() {}");
+        assert!(f.items.first().is_some_and(|i| i.is_test_gated()));
+        assert!(!f.items.get(1).is_some_and(|i| i.is_test_gated()));
+        // cfg(not(test)) is NOT a test gate.
+        let g = parse("#[cfg(not(test))]\nfn shipping() {}");
+        assert!(!g.items.first().is_some_and(|i| i.is_test_gated()));
+    }
+
+    #[test]
+    fn parses_struct_literals_and_blocks_apart() {
+        let f = parse("fn f() { let c = Config { k: 4, spacing }; if ready { go(c); } }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Some(Stmt::Let { init: Some(e), .. }) = body.stmts.first() else {
+            panic!("let");
+        };
+        let ExprKind::Struct { path, fields } = &e.kind else {
+            panic!("struct literal, got {:?}", e.kind);
+        };
+        assert_eq!(path.join("::"), "Config");
+        assert_eq!(fields.len(), 2);
+        let Some(Stmt::Expr(ife)) = body.stmts.get(1) else {
+            panic!("if stmt");
+        };
+        assert!(matches!(ife.kind, ExprKind::If { .. }));
+    }
+
+    #[test]
+    fn for_loop_desugars_to_binding_of_iterated_expr() {
+        let f = parse("fn f(m: M) { for (k, v) in m.iter() { use_it(k, v); } }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Some(Stmt::Expr(e)) = body.stmts.first() else {
+            panic!("loop stmt");
+        };
+        let ExprKind::Loop { body: lb, .. } = &e.kind else {
+            panic!("loop expr, got {:?}", e.kind);
+        };
+        let Some(Stmt::Let { names, init: Some(init), .. }) = lb.stmts.first() else {
+            panic!("desugared let");
+        };
+        assert_eq!(names, &["k", "v"]);
+        assert!(matches!(init.kind, ExprKind::MethodCall { .. }));
+    }
+
+    #[test]
+    fn index_expressions_parse() {
+        let f = parse("fn f(xs: &[u32], i: usize) -> u32 { xs[i + 1] }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Some(Stmt::Expr(e)) = body.stmts.first() else {
+            panic!("expr");
+        };
+        assert!(matches!(e.kind, ExprKind::Index { .. }));
+    }
+
+    #[test]
+    fn closures_and_macros_parse() {
+        let f = parse(
+            "fn f(v: Vec<u32>) { let s: Vec<u32> = v.iter().map(|x| x + 1).collect(); \
+             println!(\"{} {}\", s.len(), 9); }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 2);
+        let Some(Stmt::Expr(mac)) = body.stmts.get(1) else {
+            panic!("macro stmt");
+        };
+        let ExprKind::MacroCall { path, args } = &mac.kind else {
+            panic!("macro call, got {:?}", mac.kind);
+        };
+        assert_eq!(path.join("::"), "println");
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn match_expressions_parse() {
+        let f = parse(
+            "fn f(x: Option<u32>) -> u32 { match x { Some(v) if v > 2 => v, None => 0, _ => 1 } }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Some(Stmt::Expr(e)) = body.stmts.first() else {
+            panic!("match stmt");
+        };
+        let ExprKind::Match { arms, .. } = &e.kind else {
+            panic!("match expr, got {:?}", e.kind);
+        };
+        assert_eq!(arms.len(), 3);
+    }
+
+    #[test]
+    fn malformed_input_never_hangs() {
+        // Garbage soup: must terminate and produce *something*.
+        let _ = parse("fn f( { ) } ]] => let < impl :: #");
+        let _ = parse("fn f() { let x = ; } trait ! }");
+        let _ = parse("");
+    }
+}

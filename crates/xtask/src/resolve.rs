@@ -1,0 +1,406 @@
+//! Symbol resolution: crate naming, per-file `use` maps, path
+//! qualification, and the workspace function table the dataflow pass
+//! resolves calls against.
+//!
+//! Resolution is deliberately approximate — no type inference, no
+//! module-path precision beyond the crate. Free functions index under
+//! `crate::name`, impl functions under `Type::name` (and by bare method
+//! name for receiver-typeless method calls); ambiguity resolves to the
+//! union of candidates, which is conservative for taint.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::ast::{Expr, File, Item, ItemKind, FnItem, Stmt};
+use crate::diag::Span;
+use crate::lexer::Lexed;
+
+/// Maps `crates/<dir>` directory names to their library crate names
+/// (`sim` → `dcn_sim`), read from each crate's `Cargo.toml` with the
+/// directory name as fallback.
+#[derive(Debug, Default)]
+pub struct CrateMap {
+    dirs: BTreeMap<String, String>,
+}
+
+impl CrateMap {
+    pub fn load(root: &Path) -> CrateMap {
+        let mut dirs = BTreeMap::new();
+        let crates_dir = root.join("crates");
+        let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+            return CrateMap { dirs };
+        };
+        for entry in entries.flatten() {
+            let dir = entry.file_name().to_string_lossy().to_string();
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let manifest = entry.path().join("Cargo.toml");
+            let name = std::fs::read_to_string(&manifest)
+                .ok()
+                .and_then(|text| package_name(&text))
+                .unwrap_or_else(|| dir.clone());
+            dirs.insert(dir, name.replace('-', "_"));
+        }
+        CrateMap { dirs }
+    }
+
+    /// Library crate name for a workspace-relative file path
+    /// (`crates/sim/src/lib.rs` → `dcn_sim`).
+    pub fn lib_for_rel(&self, rel: &str) -> Option<&str> {
+        let rest = rel.strip_prefix("crates/")?;
+        let dir = rest.split('/').next()?;
+        self.dirs.get(dir).map(String::as_str)
+    }
+
+    /// Is `name` a crate this workspace can reference by path?
+    pub fn is_crate(&self, name: &str) -> bool {
+        matches!(name, "std" | "core" | "alloc")
+            || self.dirs.values().any(|v| v == name)
+    }
+}
+
+/// Extracts `name = "..."` from the `[package]` section of a manifest.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                if !v.is_empty() {
+                    return Some(v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One parsed workspace source file plus its resolution context.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Library crate name (underscored); empty outside `crates/`.
+    pub krate: String,
+    pub lexed: Lexed,
+    pub ast: File,
+    /// Local alias → full path, from `use` declarations.
+    pub uses: BTreeMap<String, Vec<String>>,
+}
+
+impl SourceFile {
+    pub fn new(rel: String, krate: String, lexed: Lexed, ast: File) -> SourceFile {
+        let mut uses = BTreeMap::new();
+        collect_uses(&ast.items, &mut uses);
+        SourceFile {
+            rel,
+            krate,
+            lexed,
+            ast,
+            uses,
+        }
+    }
+}
+
+fn collect_uses(items: &[Item], out: &mut BTreeMap<String, Vec<String>>) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Use(entries) => {
+                for e in entries {
+                    if e.alias != "*" {
+                        out.insert(e.alias.clone(), e.path.clone());
+                    }
+                }
+            }
+            ItemKind::Mod {
+                items: Some(sub), ..
+            } => collect_uses(sub, out),
+            _ => {}
+        }
+    }
+}
+
+/// Qualifies an expression path against the file's `use` map and crate:
+/// `SimRng::new` with `use dcn_sim::SimRng` → `[dcn_sim, SimRng, new]`;
+/// unresolved single names are assumed crate-local.
+pub fn qualify(
+    path: &[String],
+    krate: &str,
+    uses: &BTreeMap<String, Vec<String>>,
+    crates: &CrateMap,
+) -> Vec<String> {
+    let Some(first) = path.first() else {
+        return Vec::new();
+    };
+    let mut out: Vec<String> = match first.as_str() {
+        "crate" | "self" | "super" => vec![krate.to_string()],
+        _ => {
+            if let Some(full) = uses.get(first) {
+                let mut v = full.clone();
+                // The alias replaces the last segment of the use path.
+                v.extend(path.iter().skip(1).cloned());
+                // `use crate::x` inside the same crate.
+                if v.first().is_some_and(|s| s == "crate" || s == "self") {
+                    let mut w = vec![krate.to_string()];
+                    w.extend(v.into_iter().skip(1));
+                    return w;
+                }
+                return v;
+            }
+            if crates.is_crate(first) {
+                return path.to_vec();
+            }
+            // Unimported: assume local to the current crate.
+            vec![krate.to_string()]
+        }
+    };
+    let skip = usize::from(matches!(first.as_str(), "crate" | "self" | "super"));
+    out.extend(path.iter().skip(skip).cloned());
+    out
+}
+
+/// One collected function (free or impl) with its analysis context.
+pub struct FnDecl<'a> {
+    pub file_idx: usize,
+    pub type_name: Option<String>,
+    pub is_test: bool,
+    pub span: Span,
+    pub item: &'a FnItem,
+}
+
+/// A `const`/`static` initializer (for the timer-provenance pack).
+pub struct InitDecl<'a> {
+    pub file_idx: usize,
+    pub name: String,
+    pub is_test: bool,
+    pub span: Span,
+    pub init: &'a Expr,
+}
+
+/// The workspace function table: every collected function, indexed for
+/// call resolution.
+#[derive(Default)]
+pub struct FnTable<'a> {
+    pub fns: Vec<FnDecl<'a>>,
+    pub inits: Vec<InitDecl<'a>>,
+    /// `crate::name` → free-function ids.
+    free: BTreeMap<String, Vec<usize>>,
+    /// `Type::name` → impl-function ids.
+    methods: BTreeMap<String, Vec<usize>>,
+    /// bare method name → impl-function ids (receiver type unknown).
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> FnTable<'a> {
+    pub fn collect(files: &'a [SourceFile]) -> FnTable<'a> {
+        let mut t = FnTable::default();
+        for (file_idx, sf) in files.iter().enumerate() {
+            t.collect_items(&sf.ast.items, file_idx, &sf.krate, false, None);
+        }
+        t
+    }
+
+    fn collect_items(
+        &mut self,
+        items: &'a [Item],
+        file_idx: usize,
+        krate: &str,
+        in_test: bool,
+        type_name: Option<&str>,
+    ) {
+        for item in items {
+            let test = in_test || item.is_test_gated();
+            match &item.kind {
+                ItemKind::Fn(f) => {
+                    self.register_fn(f, file_idx, krate, test, type_name, item.span);
+                }
+                ItemKind::Mod {
+                    items: Some(sub), ..
+                } => self.collect_items(sub, file_idx, krate, test, None),
+                ItemKind::Impl {
+                    type_name: ty,
+                    items: sub,
+                    ..
+                } => self.collect_items(sub, file_idx, krate, test, Some(ty)),
+                ItemKind::Const {
+                    name,
+                    init: Some(e),
+                }
+                | ItemKind::Static {
+                    name,
+                    init: Some(e),
+                } => self.inits.push(InitDecl {
+                    file_idx,
+                    name: name.clone(),
+                    is_test: test,
+                    span: item.span,
+                    init: e,
+                }),
+                _ => {}
+            }
+        }
+    }
+
+    fn register_fn(
+        &mut self,
+        f: &'a FnItem,
+        file_idx: usize,
+        krate: &str,
+        is_test: bool,
+        type_name: Option<&str>,
+        span: Span,
+    ) {
+        let id = self.fns.len();
+        self.fns.push(FnDecl {
+            file_idx,
+            type_name: type_name.map(str::to_string),
+            is_test,
+            span,
+            item: f,
+        });
+        match type_name {
+            Some(ty) => {
+                self.methods
+                    .entry(format!("{ty}::{}", f.name))
+                    .or_default()
+                    .push(id);
+                self.by_name.entry(f.name.clone()).or_default().push(id);
+            }
+            None => {
+                self.free
+                    .entry(format!("{krate}::{}", f.name))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        // Nested functions inside the body are separate analysis units.
+        if let Some(body) = &f.body {
+            for stmt in &body.stmts {
+                if let Stmt::Item(item) = stmt {
+                    if let ItemKind::Fn(nested) = &item.kind {
+                        let test = is_test || item.is_test_gated();
+                        self.register_fn(nested, file_idx, krate, test, None, item.span);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Candidate function ids for a qualified call path.
+    pub fn resolve_call(&self, q: &[String]) -> &[usize] {
+        let Some(name) = q.last() else {
+            return &[];
+        };
+        if q.len() >= 2 {
+            let owner = &q[q.len() - 2]; // lint:allow(panic-indexing) len checked
+            if owner.chars().next().is_some_and(char::is_uppercase) {
+                return self
+                    .methods
+                    .get(&format!("{owner}::{name}"))
+                    .map_or(&[], Vec::as_slice);
+            }
+        }
+        let Some(krate) = q.first() else {
+            return &[];
+        };
+        self.free
+            .get(&format!("{krate}::{name}"))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidate function ids for a method call, by name alone.
+    pub fn resolve_method(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn sf(rel: &str, krate: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let ast = parse_file(&lexed);
+        SourceFile::new(rel.to_string(), krate.to_string(), lexed, ast)
+    }
+
+    #[test]
+    fn package_name_parses() {
+        let toml = "[package]\nname = \"dcn-sim\"\nversion = \"0.1.0\"\n\n[dependencies]\n";
+        assert_eq!(package_name(toml).as_deref(), Some("dcn-sim"));
+        assert_eq!(package_name("[dependencies]\nname = \"x\"\n"), None);
+    }
+
+    #[test]
+    fn qualify_via_use_map() {
+        let file = sf(
+            "crates/routing/src/lib.rs",
+            "dcn_routing",
+            "use dcn_sim::rng::SimRng;\nuse dcn_sim::timers;\n",
+        );
+        let crates = CrateMap::default();
+        let q = qualify(
+            &["SimRng".into(), "new".into()],
+            &file.krate,
+            &file.uses,
+            &crates,
+        );
+        assert_eq!(q, vec!["dcn_sim", "rng", "SimRng", "new"]);
+        let q2 = qualify(
+            &["timers".into(), "SPF_INITIAL_DELAY".into()],
+            &file.krate,
+            &file.uses,
+            &crates,
+        );
+        assert_eq!(q2, vec!["dcn_sim", "timers", "SPF_INITIAL_DELAY"]);
+        // Unimported names are assumed crate-local.
+        let q3 = qualify(&["helper".into()], &file.krate, &file.uses, &crates);
+        assert_eq!(q3, vec!["dcn_routing", "helper"]);
+        // `crate::` resolves to the current crate.
+        let q4 = qualify(
+            &["crate".into(), "mod_a".into(), "f".into()],
+            &file.krate,
+            &file.uses,
+            &crates,
+        );
+        assert_eq!(q4, vec!["dcn_routing", "mod_a", "f"]);
+    }
+
+    #[test]
+    fn fn_table_indexes_free_and_impl_fns() {
+        let files = vec![sf(
+            "crates/sim/src/lib.rs",
+            "dcn_sim",
+            "pub fn free_fn() {}\nimpl SimRng { pub fn fork(&self, s: u64) -> SimRng { x } }\n\
+             #[cfg(test)] mod tests { fn test_helper() {} }",
+        )];
+        let t = FnTable::collect(&files);
+        assert_eq!(t.fns.len(), 3);
+        assert_eq!(
+            t.resolve_call(&["dcn_sim".into(), "free_fn".into()]).len(),
+            1
+        );
+        assert_eq!(
+            t.resolve_call(&["SimRng".into(), "fork".into()]).len(),
+            1
+        );
+        assert_eq!(t.resolve_method("fork").len(), 1);
+        let test_fn = t
+            .fns
+            .iter()
+            .find(|f| f.item.name == "test_helper")
+            .expect("collected");
+        assert!(test_fn.is_test);
+    }
+}

@@ -1,25 +1,16 @@
-//! The lint rules: determinism, panic-safety, timer-constants.
+//! The token-level lint rules: determinism, panic-safety,
+//! timer-constants.
 //!
-//! Rules run over the token stream from [`crate::lexer`]. Test code —
+//! Rules run over the token stream from [`crate::lexer`]; the semantic
+//! rule packs in [`crate::packs`] build on the AST instead. Test code —
 //! `#[cfg(test)]` items, `#[test]`/`#[bench]` functions — is exempt from
 //! every rule: tests may use wall clocks, hash maps as reference oracles,
 //! and `unwrap()` freely.
 
+use crate::diag::{
+    Diagnostic, Span, RULE_DETERMINISM, RULE_PANIC_SAFETY, RULE_TIMER_CONSTANTS,
+};
 use crate::lexer::{Lexed, Token, TokenKind};
-
-/// Rule identifiers, used in diagnostics, waiver comments and the
-/// allowlist file.
-pub const RULE_DETERMINISM: &str = "determinism";
-pub const RULE_PANIC_SAFETY: &str = "panic-safety";
-pub const RULE_TIMER_CONSTANTS: &str = "timer-constants";
-
-/// One diagnostic before allowlist filtering.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    pub line: u32,
-    pub rule: &'static str,
-    pub message: String,
-}
 
 /// Which rule families apply to a file (decided from its path).
 #[derive(Debug, Clone, Copy)]
@@ -32,42 +23,40 @@ pub struct RuleSet {
     pub timer_constants: bool,
 }
 
-/// Runs every enabled rule over the lexed file and returns the surviving
-/// violations (inline waivers already applied).
-pub fn check(lexed: &Lexed, rules: RuleSet) -> Vec<Violation> {
+/// Runs every enabled token rule over the lexed file and returns the
+/// surviving diagnostics (inline waivers already applied).
+pub fn check(lexed: &Lexed, rules: RuleSet, rel: &str) -> Vec<Diagnostic> {
     let test_lines = test_line_spans(&lexed.tokens);
     let in_test = |line: u32| test_lines.iter().any(|&(lo, hi)| line >= lo && line <= hi);
 
-    let mut violations = Vec::new();
+    let mut out = Vec::new();
     let toks = &lexed.tokens;
 
     for (i, tok) in toks.iter().enumerate() {
         if in_test(tok.line) {
             continue;
         }
-        match &tok.kind {
-            TokenKind::Ident(name) => {
-                if rules.determinism {
-                    determinism_at(toks, i, name, &mut violations);
-                }
-                if rules.panic_safety {
-                    panic_safety_at(toks, i, name, &mut violations);
-                }
-                if rules.timer_constants {
-                    timer_constants_at(toks, i, name, &mut violations);
-                }
+        if let TokenKind::Ident(name) = &tok.kind {
+            let span = Span::new(tok.line, tok.col);
+            if rules.determinism {
+                determinism_at(toks, i, span, name, rel, &mut out);
             }
-            _ => {}
+            if rules.panic_safety {
+                panic_safety_at(toks, i, span, name, rel, &mut out);
+            }
+            if rules.timer_constants {
+                timer_constants_at(toks, i, span, name, rel, &mut out);
+            }
         }
     }
 
-    violations.retain(|v| {
+    out.retain(|d| {
         !lexed.waivers.iter().any(|w| {
-            (w.line == v.line || w.line + 1 == v.line)
-                && w.rules.iter().any(|r| r == v.rule || r == "all")
+            (w.line == d.span.line || w.line + 1 == d.span.line)
+                && w.rules.iter().any(|r| r == d.rule || r == "all")
         })
     });
-    violations
+    out
 }
 
 fn ident_at<'t>(toks: &'t [Token], i: usize) -> Option<&'t str> {
@@ -81,43 +70,54 @@ fn punct_at(toks: &[Token], i: usize, p: char) -> bool {
     matches!(toks.get(i).map(|t| &t.kind), Some(TokenKind::Punct(c)) if *c == p)
 }
 
-fn determinism_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violation>) {
-    let line = toks[i].line;
+fn determinism_at(
+    toks: &[Token],
+    i: usize,
+    span: Span,
+    name: &str,
+    rel: &str,
+    out: &mut Vec<Diagnostic>,
+) {
     match name {
         "HashMap" | "HashSet" => {
             // `BTreeMap` ordering is part of the simulator's determinism
             // contract; hash iteration order is seeded per-process.
             let replacement = if name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
-            out.push(Violation {
-                line,
-                rule: RULE_DETERMINISM,
-                message: format!(
+            out.push(Diagnostic::new(
+                rel,
+                span,
+                RULE_DETERMINISM,
+                format!(
                     "`{name}` has nondeterministic iteration order; use `{replacement}` \
                      (or index by dense ids) in simulation crates"
                 ),
-            });
+            ));
         }
         "thread_rng" | "random" if name == "thread_rng" || is_rand_path(toks, i) => {
-            out.push(Violation {
-                line,
-                rule: RULE_DETERMINISM,
-                message: format!(
+            out.push(Diagnostic::new(
+                rel,
+                span,
+                RULE_DETERMINISM,
+                format!(
                     "`{name}` draws from ambient OS entropy; use a seeded \
                      `dcn_sim::SimRng`/`DetRng` stream instead"
                 ),
-            });
+            ));
         }
-        "Instant" | "SystemTime" if punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':')
-            && ident_at(toks, i + 3) == Some("now") =>
+        "Instant" | "SystemTime"
+            if punct_at(toks, i + 1, ':')
+                && punct_at(toks, i + 2, ':')
+                && ident_at(toks, i + 3) == Some("now") =>
         {
-            out.push(Violation {
-                line,
-                rule: RULE_DETERMINISM,
-                message: format!(
+            out.push(Diagnostic::new(
+                rel,
+                span,
+                RULE_DETERMINISM,
+                format!(
                     "`{name}::now()` reads the wall clock; simulation time must come \
                      from `SimTime`/the event queue"
                 ),
-            });
+            ));
         }
         _ => {}
     }
@@ -131,39 +131,54 @@ fn is_rand_path(toks: &[Token], i: usize) -> bool {
         && ident_at(toks, i - 3) == Some("rand")
 }
 
-fn panic_safety_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violation>) {
-    let line = toks[i].line;
+fn panic_safety_at(
+    toks: &[Token],
+    i: usize,
+    span: Span,
+    name: &str,
+    rel: &str,
+    out: &mut Vec<Diagnostic>,
+) {
     match name {
         "unwrap" | "expect"
             if punct_at(toks, i.wrapping_sub(1), '.') && punct_at(toks, i + 1, '(') =>
         {
-            out.push(Violation {
-                line,
-                rule: RULE_PANIC_SAFETY,
-                message: format!(
+            out.push(Diagnostic::new(
+                rel,
+                span,
+                RULE_PANIC_SAFETY,
+                format!(
                     "`.{name}()` can panic in library code; return a typed error, or \
                      waive with `// lint:allow(panic-safety)` stating the invariant"
                 ),
-            });
+            ));
         }
         "panic" | "unimplemented" | "todo" if punct_at(toks, i + 1, '!') => {
-            out.push(Violation {
-                line,
-                rule: RULE_PANIC_SAFETY,
-                message: format!("`{name}!` in library code; return a typed error instead"),
-            });
+            out.push(Diagnostic::new(
+                rel,
+                span,
+                RULE_PANIC_SAFETY,
+                format!("`{name}!` in library code; return a typed error instead"),
+            ));
         }
         _ => {}
     }
 }
 
-fn timer_constants_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violation>) {
-    let line = toks[i].line;
+fn timer_constants_at(
+    toks: &[Token],
+    i: usize,
+    span: Span,
+    name: &str,
+    rel: &str,
+    out: &mut Vec<Diagnostic>,
+) {
     // `from_millis(200)` / `from_secs(60)` with a literal argument: protocol
     // timer values must flow from `dcn_sim::timers` (or the top-level
     // `f2tree::config`) so the paper's recovery-time budget stays auditable
     // in one place. Sub-millisecond construction (`from_nanos`/`from_micros`)
-    // is packet-level arithmetic, not a timer.
+    // is packet-level arithmetic, not a timer (but see the semantic
+    // `timer-provenance` pack, which checks µs magnitudes).
     if name != "from_millis" && name != "from_secs" {
         return;
     }
@@ -173,14 +188,15 @@ fn timer_constants_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violat
     if let Some(TokenKind::Int(value, raw)) = toks.get(i + 2).map(|t| &t.kind) {
         if punct_at(toks, i + 3, ')') {
             let shown = value.map_or_else(|| raw.clone(), |v| v.to_string());
-            out.push(Violation {
-                line,
-                rule: RULE_TIMER_CONSTANTS,
-                message: format!(
+            out.push(Diagnostic::new(
+                rel,
+                span,
+                RULE_TIMER_CONSTANTS,
+                format!(
                     "hard-coded timer `{name}({shown})`; use a named constant from \
                      `dcn_sim::timers` (crates/sim/src/timers.rs)"
                 ),
-            });
+            ));
         }
     }
 }
@@ -194,32 +210,32 @@ fn timer_constants_at(toks: &[Token], i: usize, name: &str, out: &mut Vec<Violat
 fn test_line_spans(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut spans: Vec<(u32, u32)> = Vec::new();
     let mut i = 0usize;
-    while i < toks.len() {
+    while let Some(tok) = toks.get(i) {
         if is_test_attribute(toks, i) {
-            let start_line = toks[i].line;
+            let start_line = tok.line;
             let mut j = i;
             let mut depth = 0i64;
             let mut end_line = start_line;
             // Walk forward to the item body.
-            while j < toks.len() {
-                match &toks[j].kind {
+            while let Some(t) = toks.get(j) {
+                match &t.kind {
                     TokenKind::Punct('{') => {
                         depth += 1;
                     }
                     TokenKind::Punct('}') => {
                         depth -= 1;
                         if depth <= 0 {
-                            end_line = toks[j].line;
+                            end_line = t.line;
                             break;
                         }
                     }
                     TokenKind::Punct(';') if depth == 0 => {
-                        end_line = toks[j].line;
+                        end_line = t.line;
                         break;
                     }
                     _ => {}
                 }
-                end_line = toks[j].line;
+                end_line = t.line;
                 j += 1;
             }
             spans.push((start_line, end_line));
@@ -274,7 +290,10 @@ mod tests {
     };
 
     fn rules_hit(src: &str) -> Vec<&'static str> {
-        check(&lex(src), ALL).into_iter().map(|v| v.rule).collect()
+        check(&lex(src), ALL, "test.rs")
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
     }
 
     #[test]
@@ -357,5 +376,14 @@ mod tests {
         // Wrong rule name does not suppress.
         let src3 = "let x = o.unwrap(); // lint:allow(determinism)\n";
         assert_eq!(rules_hit(src3), vec![RULE_PANIC_SAFETY]);
+    }
+
+    #[test]
+    fn diagnostics_carry_columns() {
+        let diags = check(&lex("let x = opt.unwrap();"), ALL, "f.rs");
+        let d = diags.first().expect("one diagnostic");
+        assert_eq!(d.span.line, 1);
+        assert_eq!(d.span.col, 13, "column of `unwrap`");
+        assert_eq!(d.file, "f.rs");
     }
 }

@@ -1,0 +1,42 @@
+//! Fixture routing crate: one violation per remaining rule family —
+//! a hard-coded 200 ms SPF timer (token `timer-constants`), a
+//! literal-seeded RNG (`rng-stream`), a µs-magnitude binding and a
+//! ms/µs comparison (`timer-provenance`).
+
+pub struct Duration(pub u64);
+
+impl Duration {
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms)
+    }
+}
+
+pub struct DetRng(pub u64);
+
+impl DetRng {
+    pub fn seed_from_u64(seed: u64) -> DetRng {
+        DetRng(seed)
+    }
+}
+
+/// Hard-coded 200 ms SPF initial delay.
+pub fn spf_delay() -> Duration {
+    Duration::from_millis(200)
+}
+
+/// Literal-seeded RNG stream.
+pub fn jitter() -> u64 {
+    let rng = DetRng::seed_from_u64(42);
+    rng.0
+}
+
+/// SPF hold in µs as a bare magic number.
+pub fn hold_window() -> u64 {
+    let spf_hold_us = 200_000;
+    spf_hold_us
+}
+
+/// Compares milliseconds against microseconds without conversion.
+pub fn hold_expired(elapsed_ms: u64, budget_us: u64) -> bool {
+    elapsed_ms > budget_us
+}

@@ -1,0 +1,14 @@
+//! Fixture simulator crate: an event handler that transitively consumes
+//! the wall clock through `util::wall_stamp`. The `determinism-taint`
+//! pack must flag the call site here, not in `util`.
+
+use util::wall_stamp;
+
+pub struct Event {
+    pub at: u64,
+}
+
+/// Event handler with a wall-clock-derived value on a deterministic path.
+pub fn on_event(ev: &Event) -> u64 {
+    ev.at + wall_stamp()
+}

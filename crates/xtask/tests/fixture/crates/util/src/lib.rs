@@ -1,0 +1,9 @@
+//! Fixture helper crate *outside* the determinism scope: the wall-clock
+//! taint must flow across the crate boundary before anything flags it.
+
+use std::time::Instant;
+
+/// Milliseconds since an arbitrary origin — wall-clock tainted.
+pub fn wall_stamp() -> u64 {
+    Instant::now().elapsed().as_millis() as u64
+}

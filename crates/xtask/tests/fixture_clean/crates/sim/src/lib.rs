@@ -1,0 +1,6 @@
+//! Clean fixture: deterministic simulation code with no findings.
+
+/// Advances simulated time; no clocks, RNGs, hash containers or panics.
+pub fn advance(now: u64, dt: u64) -> u64 {
+    now + dt
+}
