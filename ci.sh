@@ -15,7 +15,11 @@
 #    engine on 2 workers (exercises the worker pool end to end),
 # 5. a fixed-seed chaos smoke campaign: 20 generated failure scenarios
 #    under the runtime invariant oracles on 2 workers (exit 1 + minimal
-#    reproducer if any oracle fires; see DESIGN.md §9).
+#    reproducer if any oracle fires; see DESIGN.md §9),
+# 6. the Fig. 4 bench smoke run: `repro bench-fig4 --quick` must produce
+#    a BENCH_fig4.json at the repo root that passes the schema check
+#    (`xtask check-bench`) — timings are machine-dependent and never
+#    asserted, only the schema (see EXPERIMENTS.md).
 set -eu
 
 cd "$(dirname "$0")"
@@ -38,5 +42,10 @@ cargo run -q --release -p f2tree-experiments --bin repro -- fig7 --workers 2
 
 echo "==> repro chaos --seed 20150701 --campaigns 20 --workers 2 (invariant-oracle smoke test)"
 cargo run -q --release -p f2tree-experiments --bin repro -- chaos --seed 20150701 --campaigns 20 --workers 2
+
+echo "==> repro bench-fig4 --quick (hot-path bench produces a schema-valid report)"
+cargo run -q --release -p f2tree-experiments --bin repro -- bench-fig4 --quick
+test -f BENCH_fig4.json
+cargo run -q --release -p xtask -- check-bench BENCH_fig4.json
 
 echo "ci.sh: all gates passed"

@@ -192,6 +192,9 @@ pub struct Network {
     delivered_packets: u64,
     /// Centralized mode: a controller recomputation is already pending.
     recompute_pending: bool,
+    /// Reusable buffer for LSA flood targets, so per-flood target lists
+    /// don't heap-allocate on the event hot path.
+    flood_scratch: Vec<Adjacency>,
     /// Bumped whenever forwarding-relevant state may have changed (a
     /// physical link transition, a local detection, or a FIB install), so
     /// external invariant checkers re-inspect only when needed.
@@ -288,6 +291,7 @@ impl Network {
             drops: DropCounters::default(),
             delivered_packets: 0,
             recompute_pending: false,
+            flood_scratch: Vec::new(),
             fib_epoch: 0,
         })
     }
@@ -315,6 +319,12 @@ impl Network {
     /// Total events processed.
     pub fn events_processed(&self) -> u64 {
         self.queue.processed()
+    }
+
+    /// High-water mark of pending simulator events (bench evidence for
+    /// event-queue memory pressure).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_pending()
     }
 
     /// Packet-drop counters.
@@ -795,14 +805,21 @@ impl Network {
         for action in actions {
             match action {
                 RouterAction::FloodLsa { lsa, except } => {
-                    let targets: Vec<Adjacency> = self.routers[node.index()]
-                        .as_ref()
-                        .expect("flooding switch")
-                        .live_interfaces()
-                        .filter(|a| Some(a.link) != except)
-                        .copied()
-                        .collect();
-                    for adj in targets {
+                    // Reuse the scratch buffer: the target list has to be
+                    // materialized (transmit needs `&mut self` while the
+                    // interface list borrows the router), but it must not
+                    // allocate per flood.
+                    let mut targets = std::mem::take(&mut self.flood_scratch);
+                    targets.clear();
+                    targets.extend(
+                        self.routers[node.index()]
+                            .as_ref()
+                            .expect("flooding switch")
+                            .live_interfaces()
+                            .filter(|a| Some(a.link) != except)
+                            .copied(),
+                    );
+                    for &adj in &targets {
                         let key = FlowKey::new(
                             self.topo.node(node).addr(),
                             self.topo.node(adj.neighbor).addr(),
@@ -818,6 +835,7 @@ impl Network {
                         );
                         self.transmit(now, adj.link, node, packet);
                     }
+                    self.flood_scratch = targets;
                 }
                 RouterAction::ScheduleSpf { at } => {
                     self.queue.schedule(at, Event::SpfTimer { node });

@@ -1,0 +1,220 @@
+//! Fig. 4 bench harness: wall-clock evidence for the simulator hot path.
+//!
+//! Runs the Fig. 4 condition sweep single-threaded, timing the event loop
+//! end to end, then micro-times full SPF recomputation over a warm
+//! F²Tree LSDB. Emits `BENCH_fig4.json` (schema documented in
+//! `EXPERIMENTS.md` and validated by `cargo run -p xtask -- check-bench`).
+//!
+//! Wall-clock timing is inherently nondeterministic, so this module lives
+//! in `crates/experiments` (outside the determinism lint scope) and the
+//! emitted numbers are evidence, not golden values: CI asserts the file's
+//! schema, never its timings.
+
+use std::time::Instant;
+
+use dcn_sim::{SimDuration, SimTime};
+
+use crate::common::{Design, TestBed};
+use crate::conditions::{fig4_cells, ConditionConfig};
+
+/// SPF micro-bench numbers over one warm LSDB.
+#[derive(Clone, Debug)]
+pub struct SpfBench {
+    /// LSDB size (number of LSAs = switches).
+    pub lsdb_nodes: usize,
+    /// Timed recomputation runs.
+    pub runs: usize,
+    /// Mean wall time per full `compute_routes`, in microseconds.
+    pub mean_us: f64,
+    /// Fastest run, in microseconds (least-noise estimate).
+    pub min_us: f64,
+}
+
+/// The complete Fig. 4 bench result.
+#[derive(Clone, Debug)]
+pub struct BenchFig4 {
+    /// Number of (design, condition) cells swept.
+    pub cells: usize,
+    /// Simulator events processed across all cells.
+    pub events_total: u64,
+    /// End-to-end wall time for the sweep, in seconds.
+    pub wall_seconds: f64,
+    /// `events_total / wall_seconds`.
+    pub events_per_sec: f64,
+    /// Full-SPF recomputation micro-bench.
+    pub spf: SpfBench,
+    /// High-water mark of pending simulator events across all cells.
+    pub peak_queue_depth: usize,
+    /// Peak resident set size from `/proc/self/status` (`VmHWM`), when
+    /// the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Runs the Fig. 4 sweep single-threaded under wall-clock timing.
+///
+/// The cell bodies mirror [`crate::conditions::run_condition`]'s
+/// simulation phase (build, align probes, fail links, run to horizon)
+/// but skip the metric extraction: the bench times the event loop, not
+/// the reporting.
+pub fn run_bench_fig4(config: &ConditionConfig) -> BenchFig4 {
+    let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
+    let fail_at = ms(config.fail_at_ms);
+    let horizon = ms(config.horizon_ms);
+
+    let grid = fig4_cells();
+    let cells = grid.len();
+    let mut events_total = 0u64;
+    let mut peak_queue_depth = 0usize;
+    let started = Instant::now();
+    for (design, condition) in grid {
+        // Invariant: the default k=8 config always builds (same contract
+        // as the Fig. 4 sweep itself).
+        let mut bed = TestBed::build(design, config.k, config.hosts_per_tor)
+            .expect("bench testbed builds"); // lint:allow(panic-safety)
+        let (udp, _tcp) = bed.add_aligned_probes(SimTime::ZERO);
+        let anatomy = bed.path_anatomy(udp);
+        for &link in &bed.scenario_links(&anatomy, condition) {
+            bed.net.fail_link_at(fail_at, link);
+        }
+        bed.net.run_until(horizon);
+        events_total += bed.net.events_processed();
+        peak_queue_depth = peak_queue_depth.max(bed.net.peak_queue_depth());
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let events_per_sec = if wall_seconds > 0.0 {
+        events_total as f64 / wall_seconds
+    } else {
+        0.0
+    };
+
+    BenchFig4 {
+        cells,
+        events_total,
+        wall_seconds,
+        events_per_sec,
+        spf: bench_spf(config),
+        peak_queue_depth,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Times full SPF recomputation over a warm F²Tree switch LSDB.
+fn bench_spf(config: &ConditionConfig) -> SpfBench {
+    // Same invariant as the sweep: the paper-scale config builds.
+    let bed = TestBed::build(Design::F2Tree, config.k, config.hosts_per_tor)
+        .expect("bench testbed builds"); // lint:allow(panic-safety)
+    let sw = bed
+        .net
+        .topology()
+        .nodes()
+        .find(|n| n.kind().is_switch())
+        .map(|n| n.id())
+        .expect("topology has switches"); // lint:allow(panic-safety)
+    let router = bed.net.router(sw).expect("switch has a router"); // lint:allow(panic-safety)
+    let lsdb = router.lsdb();
+
+    let runs = 32usize;
+    let mut total = 0.0f64;
+    let mut fastest = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let routes = dcn_routing::compute_routes(lsdb, sw);
+        let elapsed = t.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(&routes);
+        total += elapsed;
+        fastest = fastest.min(elapsed);
+    }
+    SpfBench {
+        lsdb_nodes: lsdb.len(),
+        runs,
+        mean_us: total / runs as f64,
+        min_us: fastest,
+    }
+}
+
+/// `VmHWM` (peak RSS) from `/proc/self/status`, in bytes; `None` when
+/// the platform doesn't expose procfs.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Renders the bench result as JSON with a fixed key order (the schema
+/// `xtask check-bench` validates; documented in `EXPERIMENTS.md`).
+pub fn render_bench_json(b: &BenchFig4) -> String {
+    let rss = b
+        .peak_rss_bytes
+        .map_or("null".to_string(), |v| v.to_string());
+    format!(
+        "{{\n  \"version\": 1,\n  \"experiment\": \"fig4\",\n  \"cells\": {},\n  \
+         \"events_total\": {},\n  \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.1},\n  \
+         \"spf\": {{\"lsdb_nodes\": {}, \"runs\": {}, \"mean_us\": {:.3}, \"min_us\": {:.3}}},\n  \
+         \"peak_queue_depth\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
+        b.cells,
+        b.events_total,
+        b.wall_seconds,
+        b.events_per_sec,
+        b.spf.lsdb_nodes,
+        b.spf.runs,
+        b.spf.mean_us,
+        b.spf.min_us,
+        b.peak_queue_depth,
+        rss,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One tiny end-to-end run: the bench must produce internally
+    /// consistent numbers and schema-stable JSON. Uses a short horizon so
+    /// the test stays fast.
+    #[test]
+    fn bench_runs_and_renders_schema_stable_json() {
+        let cfg = ConditionConfig {
+            horizon_ms: 400,
+            ..ConditionConfig::default()
+        };
+        let b = run_bench_fig4(&cfg);
+        assert_eq!(b.cells, fig4_cells().len());
+        assert!(b.events_total > 0);
+        assert!(b.events_per_sec > 0.0);
+        assert!(b.peak_queue_depth > 0);
+        assert!(b.spf.lsdb_nodes > 0);
+        assert_eq!(b.spf.runs, 32);
+        assert!(b.spf.mean_us >= b.spf.min_us);
+
+        let json = render_bench_json(&b);
+        for key in [
+            "\"version\": 1",
+            "\"experiment\": \"fig4\"",
+            "\"cells\"",
+            "\"events_total\"",
+            "\"wall_seconds\"",
+            "\"events_per_sec\"",
+            "\"spf\"",
+            "\"lsdb_nodes\"",
+            "\"runs\"",
+            "\"mean_us\"",
+            "\"min_us\"",
+            "\"peak_queue_depth\"",
+            "\"peak_rss_bytes\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn rss_reader_handles_this_platform() {
+        // Either procfs is present (Linux: Some) or it isn't (None);
+        // both are valid — the call must simply not panic.
+        let _ = peak_rss_bytes();
+    }
+}

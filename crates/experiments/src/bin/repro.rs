@@ -5,6 +5,7 @@
 //!       [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
 //!        c7x|ablation|centralized|unidirectional|all]
 //! repro chaos [--seed N] [--campaigns M] [--workers W] [--out DIR]
+//! repro bench-fig4 [--quick] [--out DIR]
 //! ```
 //!
 //! With no target, everything runs. `--quick` shrinks the Fig. 6
@@ -21,6 +22,13 @@
 //! offending scenario is shrunk to a minimal reproducer, printed (and
 //! written to `--out DIR` as a replayable `.scenario` file), and the exit
 //! status is 1.
+//!
+//! `repro bench-fig4` times the Fig. 4 sweep single-threaded (events/sec
+//! through the event loop, SPF recompute wall time, peak queue depth,
+//! peak RSS) and writes `BENCH_fig4.json` — to `--out DIR` when given,
+//! else the current directory. `--quick` shrinks the horizon 5x. The
+//! schema is documented in `EXPERIMENTS.md` and validated by
+//! `cargo run -p xtask -- check-bench BENCH_fig4.json`.
 
 use std::path::{Path, PathBuf};
 
@@ -29,6 +37,7 @@ use dcn_chaos::{run_chaos, run_scenario, shrink_scenario, ChaosConfig};
 use dcn_failure::Condition;
 use dcn_sweep::Workers;
 use f2tree_experiments::artifacts;
+use f2tree_experiments::bench::{render_bench_json, run_bench_fig4};
 use f2tree_experiments::conditions::{
     format_fig4, format_table4, run_condition, run_fig4_sweep, ConditionConfig,
 };
@@ -85,6 +94,10 @@ fn main() {
 
     if targets.contains(&"chaos") {
         run_chaos_cli(&args, workers, out_dir.as_deref());
+        return;
+    }
+    if targets.contains(&"bench-fig4") {
+        run_bench_cli(quick, out_dir.as_deref());
         return;
     }
 
@@ -211,6 +224,34 @@ fn main() {
         }
         println!();
     }
+}
+
+/// The `repro bench-fig4` subcommand: wall-clock hot-path evidence,
+/// written as schema-stable JSON for `xtask check-bench`.
+fn run_bench_cli(quick: bool, out_dir: Option<&Path>) {
+    let mut cfg = ConditionConfig::default();
+    if quick {
+        cfg.horizon_ms /= 5;
+    }
+    let result = run_bench_fig4(&cfg);
+    let json = render_bench_json(&result);
+    let path = out_dir
+        .unwrap_or_else(|| Path::new("."))
+        .join("BENCH_fig4.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("bench-fig4: failed to write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!(
+        "bench-fig4: {} cells, {} events in {:.2}s ({:.0} events/sec)",
+        result.cells, result.events_total, result.wall_seconds, result.events_per_sec
+    );
+    println!(
+        "bench-fig4: SPF over {} LSAs: mean {:.1}us, min {:.1}us ({} runs)",
+        result.spf.lsdb_nodes, result.spf.mean_us, result.spf.min_us, result.spf.runs
+    );
+    println!("bench-fig4: peak queue depth {}", result.peak_queue_depth);
+    println!("wrote {}", path.display());
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {

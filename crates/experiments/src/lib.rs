@@ -12,6 +12,7 @@
 //! | Fig. 5 | [`conditions`] | [`conditions::run_condition`] (delay series) |
 //! | Fig. 6 | [`workload`] | [`workload::run_fig6`] |
 //! | Fig. 7 | [`fig7`] | [`fig7::run_fig7`] |
+//! | Fig. 4 bench | [`bench`] | [`bench::run_bench_fig4`] |
 //!
 //! The `repro` binary runs everything at paper scale and prints each
 //! table; `EXPERIMENTS.md` records paper-vs-measured values.
@@ -30,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod artifacts;
+pub mod bench;
 pub mod common;
 pub mod conditions;
 pub mod extensions;

@@ -148,31 +148,43 @@ impl Fib {
         is_dead: &impl Fn(LinkId) -> bool,
     ) -> Option<NextHop> {
         // Collect the chain of trie nodes matching dst, root to deepest.
+        // This is the per-packet path, so it must not heap-allocate: the
+        // chain lives in a fixed stack array (root + 32 bits of prefix).
         let bits = dst.to_u32();
-        let mut chain: Vec<&TrieNode> = Vec::with_capacity(33);
+        let mut chain: [Option<&TrieNode>; 33] = [None; 33];
+        let mut len = 0usize;
         let mut node = &self.root;
-        chain.push(node);
+        if let Some(slot) = chain.get_mut(len) {
+            *slot = Some(node);
+            len += 1;
+        }
         for depth in 0..32 {
             let bit = ((bits >> (31 - depth)) & 1) as usize;
             match &node.children[bit] {
                 Some(child) => {
                     node = child;
-                    chain.push(node);
+                    if let Some(slot) = chain.get_mut(len) {
+                        *slot = Some(node);
+                        len += 1;
+                    }
                 }
                 None => break,
             }
         }
         // Longest prefix first; fall through when all next hops are dead.
-        for node in chain.iter().rev() {
+        // ECMP selects among the live hops without materializing them:
+        // count first, then take the selected one in a second pass.
+        for node in chain.iter().take(len).rev().flatten() {
             for route in &node.routes {
-                let live: Vec<&NextHop> = route
-                    .next_hops
-                    .iter()
-                    .filter(|h| !is_dead(h.link))
-                    .collect();
-                if !live.is_empty() {
-                    let idx = ecmp_select(flow, self.salt, live.len());
-                    return Some(*live[idx]);
+                let live = route.next_hops.iter().filter(|h| !is_dead(h.link)).count();
+                if live > 0 {
+                    let idx = ecmp_select(flow, self.salt, live);
+                    return route
+                        .next_hops
+                        .iter()
+                        .filter(|h| !is_dead(h.link))
+                        .nth(idx)
+                        .copied();
                 }
             }
         }

@@ -7,7 +7,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use dcn_net::NodeId;
+use dcn_net::{LinkId, NodeId};
 
 use crate::lsdb::Lsdb;
 use crate::route::{NextHop, Route, RouteOrigin};
@@ -55,11 +55,14 @@ pub struct Reached {
 /// randomness into the simulated trace.
 pub fn shortest_paths(lsdb: &Lsdb, root: NodeId) -> BTreeMap<NodeId, Reached> {
     let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
-    let mut hops: BTreeMap<NodeId, Vec<NextHop>> = BTreeMap::new();
+    // Shortest-path predecessors per node: the `(upstream, first link)`
+    // pairs of every tying relaxation. First-hop sets are derived from
+    // these *after* the heap loop — copying full first-hop sets around
+    // per relaxed edge would make the inner loop allocate O(E) times.
+    let mut preds: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
     let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
 
     dist.insert(root, 0);
-    hops.insert(root, Vec::new());
     heap.push(Reverse((0, root)));
 
     while let Some(Reverse((d, u))) = heap.pop() {
@@ -73,42 +76,53 @@ pub fn shortest_paths(lsdb: &Lsdb, root: NodeId) -> BTreeMap<NodeId, Reached> {
             }
             let v = adj.neighbor;
             let nd = d + 1;
-            // First hops contributed via this edge.
-            let contributed: Vec<NextHop> = if u == root {
-                vec![NextHop {
-                    node: v,
-                    link: adj.link,
-                }]
-            } else {
-                // `u` came off the heap with a settled distance, so its
-                // first-hop set is always present; an empty set (never
-                // inserted) would only mean an unreachable node, which
-                // cannot be popped.
-                hops.get(&u).cloned().unwrap_or_default()
-            };
             match dist.get(&v).copied() {
                 Some(existing) if existing < nd => {}
                 Some(existing) if existing == nd => {
-                    let set = hops.entry(v).or_default();
-                    set.extend(contributed);
-                    set.sort();
-                    set.dedup();
+                    preds.entry(v).or_default().push((u, adj.link));
                 }
                 _ => {
                     dist.insert(v, nd);
-                    hops.insert(v, contributed);
+                    // A strictly shorter path invalidates predecessors
+                    // recorded at the old (longer) distance.
+                    let p = preds.entry(v).or_default();
+                    p.clear();
+                    p.push((u, adj.link));
                     heap.push(Reverse((nd, v)));
                 }
             }
         }
     }
 
+    // Settle first-hop sets in increasing-distance order, so every
+    // predecessor's set is complete before its downstream union. Nodes
+    // adjacent to the root contribute their own incoming link; deeper
+    // nodes inherit the union of their predecessors' sets.
+    let mut order: Vec<(u32, NodeId)> = dist.iter().map(|(&n, &d)| (d, n)).collect();
+    order.sort_unstable();
+    let mut hops: BTreeMap<NodeId, Vec<NextHop>> = BTreeMap::new();
+    let mut set: Vec<NextHop> = Vec::new();
+    for &(_, n) in &order {
+        if n == root {
+            continue;
+        }
+        set.clear();
+        for &(u, link) in preds.get(&n).into_iter().flatten() {
+            if u == root {
+                set.push(NextHop { node: n, link });
+            } else if let Some(h) = hops.get(&u) {
+                set.extend_from_slice(h);
+            }
+        }
+        set.sort();
+        set.dedup();
+        hops.insert(n, std::mem::take(&mut set));
+    }
+
     dist.into_iter()
         .filter(|&(n, _)| n != root)
         .map(|(n, d)| {
-            let mut next_hops = hops.remove(&n).unwrap_or_default();
-            next_hops.sort();
-            next_hops.dedup();
+            let next_hops = hops.remove(&n).unwrap_or_default();
             (n, Reached { dist: d, next_hops })
         })
         .collect()

@@ -59,6 +59,7 @@ pub struct EventQueue<E> {
     seq: u64,
     now: SimTime,
     popped: u64,
+    peak: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -69,6 +70,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -92,6 +94,7 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Pops the earliest event and advances the clock to it.
@@ -121,6 +124,12 @@ impl<E> EventQueue<E> {
     /// Total number of events processed so far.
     pub fn processed(&self) -> u64 {
         self.popped
+    }
+
+    /// High-water mark of pending events over the queue's lifetime (the
+    /// Fig. 4 bench reports it as memory-pressure evidence).
+    pub fn peak_pending(&self) -> usize {
+        self.peak
     }
 }
 
@@ -188,6 +197,21 @@ mod tests {
         q.schedule(at_ms(10), ());
         q.pop();
         q.schedule(at_ms(5), ());
+    }
+
+    #[test]
+    fn peak_pending_tracks_the_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_pending(), 0);
+        q.schedule(at_ms(1), 1);
+        q.schedule(at_ms(2), 2);
+        q.schedule(at_ms(3), 3);
+        assert_eq!(q.peak_pending(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(at_ms(4), 4); // back to 2 pending: peak unchanged
+        assert_eq!(q.peak_pending(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -35,10 +35,20 @@ pub const RULE_RNG_STREAM: &str = "rng-stream";
 pub const RULE_TIMER_PROVENANCE: &str = "timer-provenance";
 pub const RULE_PANIC_INDEXING: &str = "panic-indexing";
 
+/// Perf rule packs (hot-path reachability from `hot-roots.toml`).
+pub const RULE_ALLOC_HOT_LOOP: &str = "alloc-in-hot-loop";
+pub const RULE_CLONE_HOT_PATH: &str = "clone-in-hot-path";
+pub const RULE_MAP_SCAN: &str = "map-scan-per-event";
+pub const RULE_FULL_RECOMPUTE: &str = "full-recompute-in-event-context";
+
 /// Every rule the analyzer can emit, in canonical order.
 pub const ALL_RULES: &[&str] = &[
+    RULE_ALLOC_HOT_LOOP,
+    RULE_CLONE_HOT_PATH,
     RULE_DETERMINISM,
     RULE_DETERMINISM_TAINT,
+    RULE_FULL_RECOMPUTE,
+    RULE_MAP_SCAN,
     RULE_PANIC_INDEXING,
     RULE_PANIC_SAFETY,
     RULE_RNG_STREAM,
@@ -261,8 +271,76 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              the same change. Prefer `.get()`/`.get_mut()` with a typed\n\
              error, or waive inline stating the bound invariant.",
         ),
+        RULE_ALLOC_HOT_LOOP => Some(
+            "alloc-in-hot-loop (perf rule)\n\
+             \n\
+             Flags heap allocation — `Vec::new`, `vec![...]`, `Box::new`,\n\
+             `String::from`, `format!`, `.to_vec()`, `.collect()` —\n\
+             lexically inside a loop in a function reachable from a\n\
+             declared hot root (hot-roots.toml: the event-queue pop loop,\n\
+             the emulator dispatch, SPF/FIB update entries, transport\n\
+             delivery). At k=48 fat-tree scale the event loop runs\n\
+             millions of iterations per simulated second; a per-iteration\n\
+             allocation dominates the profile long before the algorithms\n\
+             do. Hoist the buffer out of the loop, reuse a scratch\n\
+             allocation (`std::mem::take` + `clear`), or iterate without\n\
+             collecting. Pre-existing debt ratchets per file via\n\
+             lint-allow.toml.",
+        ),
+        RULE_CLONE_HOT_PATH => Some(
+            "clone-in-hot-path (perf rule)\n\
+             \n\
+             Flags `.clone()`/`.cloned()`/`.to_owned()` anywhere in a\n\
+             function reachable from a declared hot root\n\
+             (hot-roots.toml). Every clone on the per-event path is paid\n\
+             once per event — per packet forwarded, per LSA flooded, per\n\
+             FIB install. Restructure to borrow, move instead of copy, or\n\
+             share with `Rc`. Copies inherent to the protocol (a flooded\n\
+             LSA owns its payload) are waived at the call site with\n\
+             `// lint:allow(clone-in-hot-path)` plus a justification —\n\
+             the waiver kills the finding at its origin, exactly like the\n\
+             taint rules. Pre-existing debt ratchets via lint-allow.toml.",
+        ),
+        RULE_MAP_SCAN => Some(
+            "map-scan-per-event (perf rule)\n\
+             \n\
+             Flags full scans — `.iter()`, `.iter_mut()`, `.keys()`,\n\
+             `.values()`, `.values_mut()` — over a `BTreeMap`/`BTreeSet`\n\
+             local inside a loop in a hot-reachable function. An O(n)\n\
+             scan per event turns the event loop quadratic: the paper's\n\
+             k=48 regime has ~27k switches, so a per-event LSDB or FIB\n\
+             scan is 27k ordered-tree steps each time. Index the entry\n\
+             you need (`get`/`range`) or maintain an incremental view\n\
+             updated at mutation time. Ratchets via lint-allow.toml.",
+        ),
+        RULE_FULL_RECOMPUTE => Some(
+            "full-recompute-in-event-context (perf rule)\n\
+             \n\
+             Flags calls to declared full-SPF/FIB-rebuild functions (the\n\
+             `[full-recompute]` section of hot-roots.toml, e.g.\n\
+             `dcn_routing::compute_routes`, `Fib::replace_origin`) from\n\
+             per-event contexts — functions reachable from a hot root.\n\
+             This is the exact anti-pattern ROADMAP item 1 targets: a\n\
+             full Dijkstra per LSA and a whole-trie FIB rebuild per\n\
+             install cap the simulator at toy topologies. The budget in\n\
+             lint-allow.toml is the burn-down list for the incremental\n\
+             SPF / delta-FIB rewrites; it only ratchets down. Calls from\n\
+             setup paths (bootstrap, topology construction) are not\n\
+             flagged — they are not hot-reachable.",
+        ),
         _ => None,
     }
+}
+
+/// The error text for `--explain` with an unknown rule: names the rule
+/// and lists every known rule, one per line.
+pub fn unknown_rule_message(rule: &str) -> String {
+    let mut out = format!("unknown rule `{rule}`; known rules:\n");
+    for r in ALL_RULES {
+        let _ = writeln!(out, "  {r}");
+    }
+    out.push_str("run `cargo run -p xtask -- lint --explain <rule>` with one of these");
+    out
 }
 
 #[cfg(test)]
@@ -300,5 +378,14 @@ mod tests {
             assert!(explain(rule).is_some(), "missing --explain for {rule}");
         }
         assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn unknown_rule_message_lists_every_rule() {
+        let msg = unknown_rule_message("no-such-rule");
+        assert!(msg.contains("unknown rule `no-such-rule`"), "{msg}");
+        for rule in ALL_RULES {
+            assert!(msg.contains(rule), "missing {rule} in: {msg}");
+        }
     }
 }

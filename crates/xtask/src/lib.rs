@@ -20,6 +20,7 @@ pub mod jsonchk;
 pub mod lexer;
 pub mod packs;
 pub mod parser;
+pub mod reach;
 pub mod resolve;
 pub mod rules;
 pub mod walk;

@@ -11,6 +11,9 @@
 //!   `crates/xtask/lint-allow.toml` from observed counts.
 //! - `check-json <file>` validates that a file parses as JSON (used by
 //!   CI to assert the lint report is well-formed without jq/python).
+//! - `check-bench <file>` validates a `BENCH_fig4.json` produced by
+//!   `repro bench-fig4`: well-formed JSON plus every schema field from
+//!   `EXPERIMENTS.md` (values are machine-dependent and never checked).
 //!
 //! Exit codes: 0 clean, 1 lint violations, 2 usage or I/O error.
 
@@ -27,7 +30,8 @@ const ALLOWLIST_REL: &str = "crates/xtask/lint-allow.toml";
 const USAGE: &str = "usage: cargo run -p xtask -- <command>\n\
 commands:\n  \
   lint [--format text|json] [--update-allowlist] [--explain <RULE>]\n  \
-  check-json <file>";
+  check-json <file>\n  \
+  check-bench <file>";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -64,10 +68,7 @@ fn main() -> ExitCode {
                                     ExitCode::SUCCESS
                                 }
                                 None => {
-                                    eprintln!(
-                                        "unknown rule `{rule}`; rules: {}",
-                                        diag::ALL_RULES.join(", ")
-                                    );
+                                    eprintln!("{}", diag::unknown_rule_message(rule));
                                     ExitCode::from(2)
                                 }
                             },
@@ -111,6 +112,28 @@ fn main() -> ExitCode {
             },
             None => {
                 eprintln!("check-json takes a file path\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("check-bench") => match it.next() {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => match jsonchk::check_bench(&text) {
+                    Ok(()) => {
+                        println!("{path}: valid fig4 bench report");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid bench report: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                Err(e) => {
+                    eprintln!("reading {path}: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            None => {
+                eprintln!("check-bench takes a file path\n{USAGE}");
                 ExitCode::from(2)
             }
         },
@@ -198,12 +221,18 @@ fn report_text(analysis: &Analysis, allowlist: &Allowlist) {
         .iter()
         .filter_map(|r| totals.get(r).map(|n| format!("{n} {r}")))
         .collect();
+    let hot_budget = allowlist.total(diag::RULE_ALLOC_HOT_LOOP)
+        + allowlist.total(diag::RULE_CLONE_HOT_PATH)
+        + allowlist.total(diag::RULE_MAP_SCAN)
+        + allowlist.total(diag::RULE_FULL_RECOMPUTE);
     println!(
-        "xtask lint: {} files; findings: {}; budgets: {} panic-safety, {} panic-indexing",
+        "xtask lint: {} files; findings: {}; budgets: {} panic-safety, {} panic-indexing, \
+         {} hot-path",
         analysis.files_checked,
         if summary.is_empty() { "none".to_string() } else { summary.join(", ") },
         allowlist.total(diag::RULE_PANIC_SAFETY),
         allowlist.total(diag::RULE_PANIC_INDEXING),
+        hot_budget,
     );
     if analysis.ok {
         println!("xtask lint: OK");

@@ -11,9 +11,11 @@ use std::collections::BTreeMap;
 use crate::ast::{Block, Expr, ExprKind, Stmt};
 use crate::dataflow::{intrinsic_source, taint_kinds, token_rule_covers, Evaluator};
 use crate::diag::{
-    Diagnostic, RULE_DETERMINISM_TAINT, RULE_PANIC_INDEXING, RULE_RNG_STREAM,
+    Diagnostic, RULE_ALLOC_HOT_LOOP, RULE_CLONE_HOT_PATH, RULE_DETERMINISM_TAINT,
+    RULE_FULL_RECOMPUTE, RULE_MAP_SCAN, RULE_PANIC_INDEXING, RULE_RNG_STREAM,
     RULE_TIMER_PROVENANCE,
 };
+use crate::reach::Reachability;
 use crate::resolve::{CrateMap, FnTable, SourceFile};
 
 /// Protocol-timer magnitudes in milliseconds, with the symbolic constant
@@ -377,6 +379,182 @@ impl<'a> Packs<'a> {
         }
     }
 
+    // --- perf packs: hot-path hygiene -----------------------------------
+    //
+    // These police only the functions [`crate::reach`] marked reachable
+    // from a declared hot root; setup paths stay free to allocate.
+
+    /// Iterates every non-test hot-reachable function body with its
+    /// attributed root.
+    fn walk_hot_fns(
+        &self,
+        reach: &Reachability,
+        mut f: impl FnMut(usize, usize, &str, &Block),
+    ) {
+        for (id, decl) in self.table.fns.iter().enumerate() {
+            if decl.is_test {
+                continue;
+            }
+            let Some(root) = reach.root_of(id) else { continue };
+            if let Some(body) = &decl.item.body {
+                f(id, decl.file_idx, root, body);
+            }
+        }
+    }
+
+    /// Pack 5: heap allocation lexically inside a loop on the hot path.
+    pub fn alloc_in_hot_loop(&self, reach: &Reachability) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_hot_fns(reach, |_, file_idx, root, body| {
+            walk_block_loops(body, false, &mut |e, in_loop| {
+                if !in_loop {
+                    return;
+                }
+                if let Some(what) = alloc_kind(e) {
+                    out.push(Diagnostic::new(
+                        self.rel(file_idx),
+                        e.span,
+                        RULE_ALLOC_HOT_LOOP,
+                        format!(
+                            "`{what}` allocates inside a loop on the hot path from \
+                             `{root}`; hoist the buffer out of the loop or reuse a \
+                             scratch allocation"
+                        ),
+                    ));
+                }
+            });
+        });
+        out
+    }
+
+    /// Pack 6: `.clone()`/`.cloned()`/`.to_owned()` anywhere on the hot
+    /// path. Waive at the call site when the copy is inherent.
+    pub fn clone_in_hot_path(&self, reach: &Reachability) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_hot_fns(reach, |_, file_idx, root, body| {
+            crate::ast::walk_block(body, &mut |e| {
+                let ExprKind::MethodCall { method, .. } = &e.kind else {
+                    return;
+                };
+                if matches!(method.as_str(), "clone" | "cloned" | "to_owned") {
+                    out.push(Diagnostic::new(
+                        self.rel(file_idx),
+                        e.span,
+                        RULE_CLONE_HOT_PATH,
+                        format!(
+                            "`.{method}()` copies per event on the hot path from \
+                             `{root}`; borrow or move instead, or waive here with \
+                             `// lint:allow(clone-in-hot-path)` if the copy is \
+                             inherent to the protocol"
+                        ),
+                    ));
+                }
+            });
+        });
+        out
+    }
+
+    /// Pack 7: full `iter()`/`values()` scans of a `BTreeMap`/`BTreeSet`
+    /// local inside a loop on the hot path.
+    pub fn map_scan_per_event(&self, reach: &Reachability) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_hot_fns(reach, |_, file_idx, root, body| {
+            // Locals bound to an ordered-container constructor anywhere
+            // in this function (no type inference — constructor sighting
+            // is the evidence).
+            let mut btree_locals: Vec<&str> = Vec::new();
+            for block in blocks_of(body) {
+                for stmt in &block.stmts {
+                    let Stmt::Let {
+                        names,
+                        init: Some(init),
+                        ..
+                    } = stmt
+                    else {
+                        continue;
+                    };
+                    if init_is_btree(init) {
+                        btree_locals.extend(names.iter().map(String::as_str));
+                    }
+                }
+            }
+            if btree_locals.is_empty() {
+                return;
+            }
+            walk_block_loops(body, false, &mut |e, in_loop| {
+                if !in_loop {
+                    return;
+                }
+                let ExprKind::MethodCall { recv, method, .. } = &e.kind else {
+                    return;
+                };
+                if !matches!(
+                    method.as_str(),
+                    "iter" | "iter_mut" | "keys" | "values" | "values_mut"
+                ) {
+                    return;
+                }
+                let Some(p) = recv.as_path() else { return };
+                let [name] = p else { return };
+                if btree_locals.contains(&name.as_str()) {
+                    out.push(Diagnostic::new(
+                        self.rel(file_idx),
+                        e.span,
+                        RULE_MAP_SCAN,
+                        format!(
+                            "full `.{method}()` scan of ordered container `{name}` \
+                             inside a loop on the hot path from `{root}`; index the \
+                             entry you need or maintain an incremental view"
+                        ),
+                    ));
+                }
+            });
+        });
+        out
+    }
+
+    /// Pack 8: calls to declared full-SPF/FIB-rebuild functions from
+    /// per-event contexts. Declared rebuild functions may call their own
+    /// helpers freely — the finding lands on the per-event caller.
+    pub fn full_recompute_in_event_context(&self, reach: &Reachability) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_hot_fns(reach, |id, file_idx, root, body| {
+            if reach.full_recompute.get(id).copied().unwrap_or(false) {
+                return;
+            }
+            crate::ast::walk_block(body, &mut |e| {
+                let (candidates, disp): (Vec<usize>, String) = match &e.kind {
+                    ExprKind::Call { callee, .. } => {
+                        let Some(path) = callee.as_path() else { return };
+                        let q = self.eval.qualify_in(file_idx, path);
+                        (self.table.resolve_call(&q).to_vec(), path.join("::"))
+                    }
+                    ExprKind::MethodCall { method, .. } => (
+                        self.table.resolve_method(method).to_vec(),
+                        format!(".{method}()"),
+                    ),
+                    _ => return,
+                };
+                if candidates
+                    .iter()
+                    .any(|c| reach.full_recompute.get(*c).copied().unwrap_or(false))
+                {
+                    out.push(Diagnostic::new(
+                        self.rel(file_idx),
+                        e.span,
+                        RULE_FULL_RECOMPUTE,
+                        format!(
+                            "`{disp}` performs a full SPF/FIB rebuild but is called \
+                             per event (hot path from `{root}`); ROADMAP item 1: \
+                             replace with incremental recomputation"
+                        ),
+                    ));
+                }
+            });
+        });
+        out
+    }
+
     // --- pack 4: panic-reachability (indexing) --------------------------
 
     pub fn panic_indexing(&self) -> Vec<Diagnostic> {
@@ -475,6 +653,149 @@ fn blocks_of(body: &Block) -> Vec<&Block> {
     out
 }
 
+/// Walks an expression tree tracking whether each node sits lexically
+/// inside a loop (closures inside a loop run per iteration, so the flag
+/// survives them). A loop's own head counts as inside it: a `while`
+/// condition re-evaluates per iteration, and a `for` head *is* the
+/// full traversal the scan rules police.
+fn walk_expr_loops<'a>(e: &'a Expr, in_loop: bool, f: &mut impl FnMut(&'a Expr, bool)) {
+    f(e, in_loop);
+    match &e.kind {
+        ExprKind::Path(_) | ExprKind::Lit(_) | ExprKind::Unknown => {}
+        ExprKind::Call { callee, args } => {
+            walk_expr_loops(callee, in_loop, f);
+            for a in args {
+                walk_expr_loops(a, in_loop, f);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            walk_expr_loops(recv, in_loop, f);
+            for a in args {
+                walk_expr_loops(a, in_loop, f);
+            }
+        }
+        ExprKind::Field { recv, .. } => walk_expr_loops(recv, in_loop, f),
+        ExprKind::Index { recv, index } => {
+            walk_expr_loops(recv, in_loop, f);
+            walk_expr_loops(index, in_loop, f);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr_loops(lhs, in_loop, f);
+            walk_expr_loops(rhs, in_loop, f);
+        }
+        ExprKind::Unary(e) | ExprKind::Try(e) | ExprKind::Ref(e) => {
+            walk_expr_loops(e, in_loop, f)
+        }
+        ExprKind::Assign { place, value } => {
+            walk_expr_loops(place, in_loop, f);
+            walk_expr_loops(value, in_loop, f);
+        }
+        ExprKind::Block(b) => walk_block_loops(b, in_loop, f),
+        ExprKind::If { cond, then, els } => {
+            walk_expr_loops(cond, in_loop, f);
+            walk_block_loops(then, in_loop, f);
+            if let Some(e) = els {
+                walk_expr_loops(e, in_loop, f);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            walk_expr_loops(scrutinee, in_loop, f);
+            for a in arms {
+                walk_expr_loops(a, in_loop, f);
+            }
+        }
+        ExprKind::Loop { head, body } => {
+            if let Some(h) = head {
+                walk_expr_loops(h, true, f);
+            }
+            walk_block_loops(body, true, f);
+        }
+        ExprKind::Closure { body, .. } => walk_expr_loops(body, in_loop, f),
+        ExprKind::Struct { fields, .. } => {
+            for (_, e) in fields {
+                walk_expr_loops(e, in_loop, f);
+            }
+        }
+        ExprKind::Tuple(es) | ExprKind::MacroCall { args: es, .. } => {
+            for e in es {
+                walk_expr_loops(e, in_loop, f);
+            }
+        }
+        ExprKind::Return(e) => {
+            if let Some(e) = e {
+                walk_expr_loops(e, in_loop, f);
+            }
+        }
+    }
+}
+
+/// `walk_expr_loops` over every statement of a block.
+fn walk_block_loops<'a>(
+    block: &'a Block,
+    in_loop: bool,
+    f: &mut impl FnMut(&'a Expr, bool),
+) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    walk_expr_loops(e, in_loop, f);
+                }
+            }
+            Stmt::Expr(e) => walk_expr_loops(e, in_loop, f),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Is this expression one of the allocation forms `alloc-in-hot-loop`
+/// polices? Returns its display name.
+fn alloc_kind(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Call { callee, .. } => {
+            let p = callee.as_path()?;
+            let last = p.last()?;
+            let owner = p
+                .len()
+                .checked_sub(2)
+                .and_then(|i| p.get(i))
+                .map(String::as_str)
+                .unwrap_or("");
+            match (owner, last.as_str()) {
+                ("Vec", "new" | "with_capacity")
+                | ("Box", "new")
+                | ("String", "from" | "new" | "with_capacity") => {
+                    Some(format!("{owner}::{last}"))
+                }
+                _ => None,
+            }
+        }
+        ExprKind::MacroCall { path, .. } => {
+            let last = path.last()?;
+            matches!(last.as_str(), "vec" | "format").then(|| format!("{last}!"))
+        }
+        ExprKind::MethodCall { method, .. } => {
+            matches!(method.as_str(), "to_vec" | "collect").then(|| format!(".{method}()"))
+        }
+        _ => None,
+    }
+}
+
+/// Does a `let` initializer construct a `BTreeMap`/`BTreeSet`? (No type
+/// inference — a constructor sighting anywhere in the initializer is the
+/// evidence.)
+fn init_is_btree(init: &Expr) -> bool {
+    let mut found = false;
+    init.walk(&mut |e| {
+        if let Some(p) = e.as_path() {
+            if p.iter().any(|s| s == "BTreeMap" || s == "BTreeSet") {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
 /// Drops diagnostics covered by an inline `// lint:allow(<rule>)` waiver
 /// on the same or the preceding line.
 pub fn filter_waived(mut diags: Vec<Diagnostic>, files: &[SourceFile]) -> Vec<Diagnostic> {
@@ -505,6 +826,10 @@ mod tests {
     const EXEMPT: &[&str] = &["crates/sim/src/timers.rs"];
 
     fn run(srcs: &[(&str, &str, &str)], pack: &str) -> Vec<String> {
+        run_with_roots(srcs, pack, "")
+    }
+
+    fn run_with_roots(srcs: &[(&str, &str, &str)], pack: &str, roots: &str) -> Vec<String> {
         let files: Vec<SourceFile> = srcs
             .iter()
             .map(|(rel, krate, src)| {
@@ -528,11 +853,19 @@ mod tests {
                 timer_exempt: EXEMPT,
             },
         };
+        let reach = || {
+            let hot = crate::reach::HotRoots::parse(roots).expect("roots parse");
+            crate::reach::compute(&files, &table, &eval, &crates, &hot).expect("roots resolve")
+        };
         let diags = match pack {
             "taint" => packs.determinism_taint(),
             "rng" => packs.rng_stream(),
             "timer" => packs.timer_provenance(),
             "index" => packs.panic_indexing(),
+            "alloc" => packs.alloc_in_hot_loop(&reach()),
+            "clone" => packs.clone_in_hot_path(&reach()),
+            "scan" => packs.map_scan_per_event(&reach()),
+            "recompute" => packs.full_recompute_in_event_context(&reach()),
             _ => Vec::new(),
         };
         filter_waived(diags, &files)
@@ -643,6 +976,110 @@ mod tests {
             "timer",
         );
         assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    const HOT: &str = "[roots]\n\"Engine::step\" = \"event loop\"\n";
+
+    #[test]
+    fn alloc_in_hot_loop_flags_only_loops_in_hot_fns() {
+        let hits = run_with_roots(
+            &[(
+                "crates/sim/src/lib.rs",
+                "dcn_sim",
+                "impl Engine {\n\
+                   pub fn step(&mut self) { for x in 0..4 { self.per_event(x); } }\n\
+                   fn per_event(&mut self, x: u64) {\n\
+                     let ok = Vec::new();\n\
+                     while x > 0 { let bad: Vec<u64> = items().collect(); use_it(bad); }\n\
+                   }\n\
+                 }\n\
+                 fn cold() { for _ in 0..4 { let v = vec![1, 2]; use_it(v); } }\n",
+            )],
+            "alloc",
+            HOT,
+        );
+        // Only the collect() inside the while loop of the hot fn: the
+        // Vec::new outside any loop and the cold fn's vec! stay silent.
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains(".collect()"), "{hits:?}");
+        assert!(hits[0].contains("Engine::step"), "{hits:?}");
+    }
+
+    #[test]
+    fn clone_in_hot_path_flags_and_respects_waivers() {
+        let hits = run_with_roots(
+            &[(
+                "crates/routing/src/lib.rs",
+                "dcn_routing",
+                "impl Engine {\n\
+                   pub fn step(&mut self, s: &S) {\n\
+                     let a = s.payload.clone();\n\
+                     let b = s.payload.clone(); // lint:allow(clone-in-hot-path) inherent\n\
+                     use_them(a, b);\n\
+                   }\n\
+                 }\n\
+                 fn cold(s: &S) -> P { s.payload.clone() }\n",
+            )],
+            "clone",
+            HOT,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains(".clone()"), "{hits:?}");
+        assert!(hits[0].contains(":3 "), "{hits:?}");
+    }
+
+    #[test]
+    fn map_scan_flags_btree_iteration_in_hot_loops() {
+        let hits = run_with_roots(
+            &[(
+                "crates/routing/src/lib.rs",
+                "dcn_routing",
+                "impl Engine {\n\
+                   pub fn step(&mut self) {\n\
+                     let dist = BTreeMap::new();\n\
+                     let plain = make_list();\n\
+                     while go() {\n\
+                       for (k, v) in dist.iter() { use_kv(k, v); }\n\
+                       for x in plain.iter() { use_x(x); }\n\
+                     }\n\
+                     for (k, v) in dist.iter() { finish(k, v); }\n\
+                   }\n\
+                 }\n",
+            )],
+            "scan",
+            HOT,
+        );
+        // The scan of the BTreeMap inside the while loop is flagged —
+        // including the final drain loop (its own `for` is a loop), but
+        // the non-BTree local is not.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|h| h.contains("`dist`")), "{hits:?}");
+    }
+
+    #[test]
+    fn full_recompute_flags_per_event_callers_only() {
+        let hits = run_with_roots(
+            &[(
+                "crates/routing/src/lib.rs",
+                "dcn_routing",
+                "impl Engine {\n\
+                   pub fn step(&mut self) { let r = compute_routes(); install(r); }\n\
+                 }\n\
+                 pub fn compute_routes() -> R { shortest_paths() }\n\
+                 pub fn shortest_paths() -> R { R }\n\
+                 pub fn bootstrap() -> R { compute_routes() }\n",
+            )],
+            "recompute",
+            "[roots]\n\"Engine::step\" = \"event loop\"\n\
+             [full-recompute]\n\"dcn_routing::compute_routes\" = \"full SPF\"\n\
+             \"dcn_routing::shortest_paths\" = \"full Dijkstra\"\n",
+        );
+        // step → compute_routes is flagged; compute_routes calling its
+        // own helper shortest_paths is not (declared rebuild fns may use
+        // their helpers); bootstrap is cold so its call is fine.
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("compute_routes"), "{hits:?}");
+        assert!(hits[0].contains(":2 "), "{hits:?}");
     }
 
     #[test]

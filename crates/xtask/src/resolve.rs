@@ -8,7 +8,7 @@
 //! name for receiver-typeless method calls); ambiguity resolves to the
 //! union of candidates, which is conservative for taint.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use crate::ast::{Expr, File, Item, ItemKind, FnItem, Stmt};
@@ -21,14 +21,19 @@ use crate::lexer::Lexed;
 #[derive(Debug, Default)]
 pub struct CrateMap {
     dirs: BTreeMap<String, String>,
+    /// Library crate name → its *transitive* `[dependencies]` closure
+    /// (dev-dependencies excluded: test-only edges must not make a crate
+    /// look callable from production code).
+    deps: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl CrateMap {
     pub fn load(root: &Path) -> CrateMap {
         let mut dirs = BTreeMap::new();
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let crates_dir = root.join("crates");
         let Ok(entries) = std::fs::read_dir(&crates_dir) else {
-            return CrateMap { dirs };
+            return CrateMap { dirs, deps };
         };
         for entry in entries.flatten() {
             let dir = entry.file_name().to_string_lossy().to_string();
@@ -36,13 +41,57 @@ impl CrateMap {
                 continue;
             }
             let manifest = entry.path().join("Cargo.toml");
-            let name = std::fs::read_to_string(&manifest)
-                .ok()
-                .and_then(|text| package_name(&text))
-                .unwrap_or_else(|| dir.clone());
-            dirs.insert(dir, name.replace('-', "_"));
+            let text = std::fs::read_to_string(&manifest).ok();
+            let name = text
+                .as_deref()
+                .and_then(package_name)
+                .unwrap_or_else(|| dir.clone())
+                .replace('-', "_");
+            // Crates with no manifest (fixture trees) stay out of the
+            // dep map entirely, so `can_call` treats them leniently.
+            if let Some(text) = text.as_deref() {
+                deps.insert(name.clone(), dependency_names(text));
+            }
+            dirs.insert(dir, name);
         }
-        CrateMap { dirs }
+        // Transitive closure: `a` can call anything its deps can call.
+        loop {
+            let mut changed = false;
+            let names: Vec<String> = deps.keys().cloned().collect();
+            for name in &names {
+                let direct: Vec<String> =
+                    deps.get(name).map(|d| d.iter().cloned().collect()).unwrap_or_default();
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for d in &direct {
+                    if let Some(dd) = deps.get(d) {
+                        add.extend(dd.iter().cloned());
+                    }
+                }
+                if let Some(set) = deps.get_mut(name) {
+                    for a in add {
+                        changed |= set.insert(a);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        CrateMap { dirs, deps }
+    }
+
+    /// Can code in crate `from` legally call into crate `to`? True when
+    /// the crates are equal or `to` is in `from`'s transitive dependency
+    /// closure; crates the map has no manifest for (synthetic test
+    /// sources, files outside `crates/`) are conservatively callable.
+    pub fn can_call(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        match self.deps.get(from) {
+            Some(d) => d.contains(to) || !self.deps.contains_key(to),
+            None => true,
+        }
     }
 
     /// Library crate name for a workspace-relative file path
@@ -58,6 +107,33 @@ impl CrateMap {
         matches!(name, "std" | "core" | "alloc")
             || self.dirs.values().any(|v| v == name)
     }
+}
+
+/// Extracts the dependency crate names (underscored) from the
+/// `[dependencies]` section of a manifest. Dev-dependencies are
+/// deliberately skipped.
+fn dependency_names(toml: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            let section = section.trim_end_matches(']').trim();
+            in_deps = section == "dependencies";
+            // `[dependencies.foo]` table form.
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                out.insert(dep.trim().replace('-', "_"));
+            }
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, _)) = line.split_once('=') {
+            out.insert(name.trim().replace('-', "_"));
+        }
+    }
+    out
 }
 
 /// Extracts `name = "..."` from the `[package]` section of a manifest.

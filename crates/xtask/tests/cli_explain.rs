@@ -1,0 +1,60 @@
+//! End-to-end tests of the `lint --explain` CLI surface: every shipped
+//! rule has printable documentation, and an unknown rule name fails
+//! loudly with the full rule list (so a typo never silently succeeds).
+
+use std::process::Command;
+
+use xtask::diag::ALL_RULES;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+}
+
+#[test]
+fn explain_prints_docs_for_every_rule() {
+    for rule in ALL_RULES {
+        let out = xtask()
+            .args(["lint", "--explain", rule])
+            .output()
+            .expect("spawn xtask");
+        assert!(out.status.success(), "--explain {rule} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(rule),
+            "--explain {rule} must name the rule:\n{stdout}"
+        );
+        assert!(
+            stdout.len() > 100,
+            "--explain {rule} must be substantive:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn explain_unknown_rule_exits_nonzero_and_lists_every_rule() {
+    let out = xtask()
+        .args(["lint", "--explain", "bogus-rule"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2), "unknown rule must exit 2");
+    assert!(out.stdout.is_empty(), "nothing on stdout for an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown rule `bogus-rule`"),
+        "must echo the bad name:\n{stderr}"
+    );
+    for rule in ALL_RULES {
+        assert!(stderr.contains(rule), "must list {rule}:\n{stderr}");
+    }
+}
+
+#[test]
+fn explain_without_a_rule_name_exits_nonzero() {
+    let out = xtask()
+        .args(["lint", "--explain"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--explain takes a rule name"), "{stderr}");
+}

@@ -1,0 +1,8 @@
+//! Minimal crate for the stale-hot-root test: `Engine::step` exists,
+//! but the fixture's `hot-roots.toml` misspells it.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn step(&self) {}
+}

@@ -65,6 +65,62 @@ fn fixture_triggers_exactly_the_expected_rules() {
 }
 
 #[test]
+fn hot_fixture_report_matches_golden_byte_exactly() {
+    let got = lint_json("fixture_hot");
+    let golden = tests_dir().join("golden").join("fixture_hot_lint.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("golden file exists; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "hot-path lint JSON diverged from the golden file; if the change \
+         is intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn hot_fixture_triggers_exactly_the_perf_rules() {
+    let got = lint_json("fixture_hot");
+    // One planted violation per perf rule…
+    assert!(got.contains("\"rule\": \"alloc-in-hot-loop\""), "{got}");
+    assert!(got.contains("\"rule\": \"map-scan-per-event\""), "{got}");
+    assert!(got.contains("\"rule\": \"clone-in-hot-path\""), "{got}");
+    assert!(
+        got.contains("\"rule\": \"full-recompute-in-event-context\""),
+        "{got}"
+    );
+    // …each attributed to the declared root…
+    assert!(got.contains("Engine::step"), "{got}");
+    // …with the waiver killing the second clone: exactly one clone
+    // finding (the fixture has two clone calls in the hot fn, one waived,
+    // plus one in the cold bootstrap). Count rule fields, not substrings:
+    // the clone message embeds its own rule name in the waive hint.
+    let count = |rule: &str| got.matches(&format!("\"rule\": \"{rule}\"")).count();
+    assert_eq!(count("clone-in-hot-path"), 1, "{got}");
+    // The cold bootstrap's identical patterns stay silent: exactly one
+    // alloc and one map-scan finding, both in `step`.
+    assert_eq!(count("alloc-in-hot-loop"), 1, "{got}");
+    assert_eq!(count("map-scan-per-event"), 1, "{got}");
+    assert_eq!(count("full-recompute-in-event-context"), 1, "{got}");
+    assert!(got.contains("\"ok\": false"), "{got}");
+}
+
+#[test]
+fn stale_hot_root_fails_analysis_with_a_clear_error() {
+    let root = tests_dir().join("fixture_badroots");
+    let err = match engine::analyze(&root, &Allowlist::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("a typoed root must fail the run"),
+    };
+    assert!(err.contains("Engine::stpe"), "{err}");
+    assert!(err.contains("does not resolve"), "{err}");
+    assert!(err.contains("did you mean Engine::step"), "{err}");
+}
+
+#[test]
 fn clean_fixture_reports_no_findings() {
     let got = lint_json("fixture_clean");
     assert!(got.contains("\"ok\": true"), "{got}");
@@ -80,4 +136,5 @@ fn report_is_byte_stable_across_runs() {
 fn report_is_valid_json() {
     xtask::jsonchk::validate(&lint_json("fixture")).expect("report parses as JSON");
     xtask::jsonchk::validate(&lint_json("fixture_clean")).expect("report parses as JSON");
+    xtask::jsonchk::validate(&lint_json("fixture_hot")).expect("report parses as JSON");
 }
