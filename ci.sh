@@ -19,7 +19,11 @@
 # 6. the Fig. 4 bench smoke run: `repro bench-fig4 --quick` must produce
 #    a BENCH_fig4.json at the repo root that passes the schema check
 #    (`xtask check-bench`) — timings are machine-dependent and never
-#    asserted, only the schema (see EXPERIMENTS.md).
+#    asserted, only the schema (see EXPERIMENTS.md),
+# 7. the engine-matrix determinism gate: `repro fig4` replayed under all
+#    four scheduler x SPF-engine combinations must print byte-identical
+#    results (the pluggable hot-loop seams may not change observable
+#    behaviour; see DESIGN.md §10).
 set -eu
 
 cd "$(dirname "$0")"
@@ -47,5 +51,17 @@ echo "==> repro bench-fig4 --quick (hot-path bench produces a schema-valid repor
 cargo run -q --release -p f2tree-experiments --bin repro -- bench-fig4 --quick
 test -f BENCH_fig4.json
 cargo run -q --release -p xtask -- check-bench BENCH_fig4.json
+
+echo "==> repro fig4 under all scheduler x spf-engine combos (byte-identity gate)"
+for sched in heap calendar; do
+    for spf in full incremental; do
+        cargo run -q --release -p f2tree-experiments --bin repro -- \
+            fig4 --workers 2 --scheduler "$sched" --spf "$spf" \
+            > "target/fig4-$sched-$spf.txt"
+    done
+done
+cmp target/fig4-heap-full.txt target/fig4-heap-incremental.txt
+cmp target/fig4-heap-full.txt target/fig4-calendar-full.txt
+cmp target/fig4-heap-full.txt target/fig4-calendar-incremental.txt
 
 echo "ci.sh: all gates passed"

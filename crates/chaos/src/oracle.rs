@@ -285,7 +285,6 @@ pub fn fib_spf_divergence(net: &Network, node: NodeId) -> Option<String> {
         router
             .fib()
             .routes()
-            .iter()
             .filter(|r| r.origin == RouteOrigin::Ospf),
     );
     if expected == actual {

@@ -1,7 +1,7 @@
 //! Emulation parameters (paper §IV "Emulation environment").
 
-use dcn_routing::RouterConfig;
-use dcn_sim::{timers, LinkSpec, SimDuration};
+use dcn_routing::{RouterConfig, SpfEngineKind};
+use dcn_sim::{timers, LinkSpec, SchedulerKind, SimDuration};
 use dcn_transport::TcpConfig;
 
 /// Which control plane runs the network (paper §V "Centralized Routing
@@ -83,6 +83,10 @@ pub struct EmuConfig {
     pub(crate) across_links_passive: bool,
     /// Distributed (default) or centralized control plane.
     pub(crate) control_plane: ControlPlaneMode,
+    /// Which event-scheduler implementation drives the network's hot
+    /// loop (binary heap by default; calendar queue as the timing-wheel
+    /// alternative). Any kind must replay identical traces.
+    pub(crate) scheduler: SchedulerKind,
 }
 
 impl Default for EmuConfig {
@@ -99,6 +103,7 @@ impl Default for EmuConfig {
             tcp: TcpConfig::default(),
             across_links_passive: true,
             control_plane: ControlPlaneMode::Distributed,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -164,6 +169,11 @@ impl EmuConfig {
     /// Distributed or centralized control plane.
     pub fn control_plane(&self) -> ControlPlaneMode {
         self.control_plane
+    }
+
+    /// Which event-scheduler implementation drives the hot loop.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
     }
 }
 
@@ -242,6 +252,20 @@ impl EmuConfigBuilder {
         self
     }
 
+    /// Selects the event-scheduler implementation (determinism law: any
+    /// kind replays byte-identical traces).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.config.scheduler = kind;
+        self
+    }
+
+    /// Selects the SPF engine every router runs (convenience for
+    /// `router(RouterConfig { spf_engine, .. })`).
+    pub fn spf_engine(mut self, kind: SpfEngineKind) -> Self {
+        self.config.router.spf_engine = kind;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> EmuConfig {
         self.config
@@ -275,6 +299,8 @@ mod tests {
             .across_links_passive(false)
             .lsa_packet_bytes(200)
             .control_plane(ControlPlaneMode::centralized_default())
+            .scheduler(SchedulerKind::Calendar)
+            .spf_engine(SpfEngineKind::Incremental)
             .build();
         assert_eq!(config.detection_delay().as_millis(), 10);
         assert!(!config.across_links_passive());
@@ -283,7 +309,16 @@ mod tests {
             config.control_plane(),
             ControlPlaneMode::centralized_default()
         );
+        assert_eq!(config.scheduler(), SchedulerKind::Calendar);
+        assert_eq!(config.router().spf_engine, SpfEngineKind::Incremental);
         // Untouched fields keep their defaults.
         assert_eq!(config.header_bytes(), EmuConfig::default().header_bytes());
+    }
+
+    #[test]
+    fn engine_seams_default_to_the_historical_implementations() {
+        let c = EmuConfig::default();
+        assert_eq!(c.scheduler(), SchedulerKind::Heap);
+        assert_eq!(c.router().spf_engine, SpfEngineKind::Full);
     }
 }

@@ -15,10 +15,10 @@ use dcn_net::{
     NodeKind, Prefix, Protocol, Topology,
 };
 use dcn_routing::{
-    Adjacency, Lsa, Lsdb, NextHop, Route, RouteOrigin, RouterAction, RouterProcess,
+    Adjacency, FibDelta, Lsa, Lsdb, NextHop, Route, RouteOrigin, RouterAction, RouterProcess,
 };
 use dcn_sim::{
-    Direction, EventQueue, LinkState, Packet, SimTime, TransmitVerdict,
+    AnyScheduler, Direction, EventScheduler, LinkState, Packet, SimTime, TransmitVerdict,
 };
 use dcn_transport::{
     TcpAck, TcpApp, TcpReceiver, TcpSegment, TcpSender, TcpSenderOutput, UdpDatagram, UdpSource,
@@ -93,7 +93,7 @@ enum Event {
     FibInstall {
         node: NodeId,
         generation: u64,
-        routes: Vec<Route>,
+        delta: FibDelta,
     },
     UdpTick {
         flow: FlowId,
@@ -180,7 +180,7 @@ pub struct Network {
     topo: Topology,
     plan: AddressPlan,
     config: EmuConfig,
-    queue: EventQueue<Event>,
+    queue: AnyScheduler<Event>,
     links: Vec<LinkState>,
     routers: Vec<Option<RouterProcess>>,
     host_uplink: Vec<Option<(LinkId, NodeId)>>,
@@ -195,6 +195,9 @@ pub struct Network {
     /// Reusable buffer for LSA flood targets, so per-flood target lists
     /// don't heap-allocate on the event hot path.
     flood_scratch: Vec<Adjacency>,
+    /// Reusable buffer router handlers append [`RouterAction`]s into, so
+    /// per-event dispatch doesn't heap-allocate on the hot path.
+    action_scratch: Vec<RouterAction>,
     /// Bumped whenever forwarding-relevant state may have changed (a
     /// physical link transition, a local detection, or a FIB install), so
     /// external invariant checkers re-inspect only when needed.
@@ -279,8 +282,8 @@ impl Network {
         Ok(Network {
             topo,
             plan,
+            queue: AnyScheduler::new(config.scheduler()),
             config,
-            queue: EventQueue::new(),
             links: (0..n_links).map(|_| LinkState::new()).collect(),
             routers,
             host_uplink,
@@ -292,6 +295,7 @@ impl Network {
             delivered_packets: 0,
             recompute_pending: false,
             flood_scratch: Vec::new(),
+            action_scratch: Vec::new(),
             fib_epoch: 0,
         })
     }
@@ -620,11 +624,14 @@ impl Network {
                 lsa,
                 arrived_on,
             } => {
-                let actions = self.routers[node.index()]
+                let mut actions = std::mem::take(&mut self.action_scratch);
+                actions.clear();
+                self.routers[node.index()]
                     .as_mut()
                     .expect("LSA at a switch")
-                    .on_lsa(now, lsa, arrived_on);
-                self.handle_router_actions(now, node, actions);
+                    .on_lsa(now, lsa, arrived_on, &mut actions);
+                self.handle_router_actions(now, node, &mut actions);
+                self.action_scratch = actions;
             }
             Event::LinkChange { link, up } => self.on_link_change(now, link, up),
             Event::LinkDirChange { link, from, up } => {
@@ -632,11 +639,19 @@ impl Network {
             }
             Event::Detect { node, link, up } => {
                 self.fib_epoch += 1;
-                if let Some(router) = self.routers[node.index()].as_mut() {
-                    let actions = router.on_link_detected(now, link, up);
+                let mut actions = std::mem::take(&mut self.action_scratch);
+                actions.clear();
+                let detected = match self.routers[node.index()].as_mut() {
+                    Some(router) => {
+                        router.on_link_detected(now, link, up, &mut actions);
+                        true
+                    }
+                    None => false,
+                };
+                if detected {
                     match self.config.control_plane {
                         ControlPlaneMode::Distributed => {
-                            self.handle_router_actions(now, node, actions);
+                            self.handle_router_actions(now, node, &mut actions);
                         }
                         ControlPlaneMode::Centralized {
                             report_delay,
@@ -656,24 +671,28 @@ impl Network {
                         }
                     }
                 }
+                self.action_scratch = actions;
             }
             Event::SpfTimer { node } => {
-                let actions = self.routers[node.index()]
+                let mut actions = std::mem::take(&mut self.action_scratch);
+                actions.clear();
+                self.routers[node.index()]
                     .as_mut()
                     .expect("SPF at a switch")
-                    .on_spf_timer(now);
-                self.handle_router_actions(now, node, actions);
+                    .on_spf_timer(now, &mut actions);
+                self.handle_router_actions(now, node, &mut actions);
+                self.action_scratch = actions;
             }
             Event::FibInstall {
                 node,
                 generation,
-                routes,
+                delta,
             } => {
                 self.fib_epoch += 1;
                 self.routers[node.index()]
                     .as_mut()
                     .expect("install at a switch")
-                    .on_install(generation, routes);
+                    .on_install(generation, delta);
             }
             Event::UdpTick { flow } => self.on_udp_tick(now, flow),
             Event::TcpStart { flow } => {
@@ -801,8 +820,15 @@ impl Network {
         }
     }
 
-    fn handle_router_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<RouterAction>) {
-        for action in actions {
+    /// Drains `actions` (the reusable scratch buffer) into scheduled
+    /// events and link transmissions.
+    fn handle_router_actions(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        actions: &mut Vec<RouterAction>,
+    ) {
+        for action in actions.drain(..) {
             match action {
                 RouterAction::FloodLsa { lsa, except } => {
                     // Reuse the scratch buffer: the target list has to be
@@ -840,17 +866,17 @@ impl Network {
                 RouterAction::ScheduleSpf { at } => {
                     self.queue.schedule(at, Event::SpfTimer { node });
                 }
-                RouterAction::InstallRoutes {
+                RouterAction::Install {
                     at,
                     generation,
-                    routes,
+                    delta,
                 } => {
                     self.queue.schedule(
                         at,
                         Event::FibInstall {
                             node,
                             generation,
-                            routes,
+                            delta,
                         },
                     );
                 }

@@ -10,9 +10,12 @@
 //! emitted numbers are evidence, not golden values: CI asserts the file's
 //! schema, never its timings.
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
-use dcn_sim::{SimDuration, SimTime};
+use dcn_net::{Ipv4Addr, NodeId, Prefix, Topology};
+use dcn_routing::{Adjacency, FullSpf, IncrementalSpf, Lsa, Lsdb, SpfEngine, SpfEngineKind};
+use dcn_sim::{SchedulerKind, SimDuration, SimTime};
 
 use crate::common::{Design, TestBed};
 use crate::conditions::{fig4_cells, ConditionConfig};
@@ -30,19 +33,61 @@ pub struct SpfBench {
     pub min_us: f64,
 }
 
-/// The complete Fig. 4 bench result.
+/// One scheduler × SPF-engine cell of the variant matrix: the same Fig. 4
+/// sweep timed under one hot-loop implementation pair. The determinism
+/// law says `events_total` is identical across every variant; only the
+/// wall-clock columns may differ.
 #[derive(Clone, Debug)]
-pub struct BenchFig4 {
-    /// Number of (design, condition) cells swept.
-    pub cells: usize,
+pub struct VariantBench {
+    /// Event-scheduler implementation driving the event loop.
+    pub scheduler: SchedulerKind,
+    /// SPF engine every router runs.
+    pub spf_engine: SpfEngineKind,
     /// Simulator events processed across all cells.
     pub events_total: u64,
     /// End-to-end wall time for the sweep, in seconds.
     pub wall_seconds: f64,
     /// `events_total / wall_seconds`.
     pub events_per_sec: f64,
+    /// High-water mark of pending simulator events across all cells.
+    pub peak_queue_depth: usize,
+}
+
+/// One scale point of the SPF-engine k-sweep: mean recompute time per
+/// single-link-failure event, full vs incremental, at fabric size `k`.
+#[derive(Clone, Debug)]
+pub struct KSweepRow {
+    /// Switch port count.
+    pub k: u32,
+    /// Switches in the fabric (= LSDB size).
+    pub switches: usize,
+    /// Timed link flaps (each one a single-link-failure SPF run).
+    pub runs: usize,
+    /// Mean full-recompute wall time per event, in microseconds.
+    pub full_spf_us: f64,
+    /// Mean incremental-recompute wall time per event, in microseconds.
+    pub incremental_spf_us: f64,
+}
+
+/// The complete Fig. 4 bench result.
+#[derive(Clone, Debug)]
+pub struct BenchFig4 {
+    /// Number of (design, condition) cells swept.
+    pub cells: usize,
+    /// Simulator events processed across all cells (the variant selected
+    /// by the config — identical for every variant by the determinism
+    /// law).
+    pub events_total: u64,
+    /// End-to-end wall time for the selected variant's sweep, in seconds.
+    pub wall_seconds: f64,
+    /// `events_total / wall_seconds`.
+    pub events_per_sec: f64,
     /// Full-SPF recomputation micro-bench.
     pub spf: SpfBench,
+    /// The scheduler × SPF-engine matrix (4 rows).
+    pub variants: Vec<VariantBench>,
+    /// Per-event SPF engine comparison at k = 4, 8, 16.
+    pub k_sweep: Vec<KSweepRow>,
     /// High-water mark of pending simulator events across all cells.
     pub peak_queue_depth: usize,
     /// Peak resident set size from `/proc/self/status` (`VmHWM`), when
@@ -50,27 +95,60 @@ pub struct BenchFig4 {
     pub peak_rss_bytes: Option<u64>,
 }
 
-/// Runs the Fig. 4 sweep single-threaded under wall-clock timing.
+/// Runs the Fig. 4 sweep single-threaded under wall-clock timing, once
+/// per scheduler × SPF-engine variant, then micro-times the SPF engines
+/// themselves across fabric scales.
 ///
 /// The cell bodies mirror [`crate::conditions::run_condition`]'s
 /// simulation phase (build, align probes, fail links, run to horizon)
 /// but skip the metric extraction: the bench times the event loop, not
 /// the reporting.
 pub fn run_bench_fig4(config: &ConditionConfig) -> BenchFig4 {
+    let mut variants = Vec::new();
+    for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        for spf_engine in SpfEngineKind::ALL {
+            let cfg = ConditionConfig {
+                scheduler,
+                spf_engine,
+                ..*config
+            };
+            variants.push(time_fig4_sweep(&cfg));
+        }
+    }
+    // The headline numbers are the variant the caller selected.
+    let selected = variants
+        .iter()
+        .find(|v| v.scheduler == config.scheduler && v.spf_engine == config.spf_engine)
+        .expect("selected variant is in the matrix"); // lint:allow(panic-safety)
+
+    BenchFig4 {
+        cells: fig4_cells().len(),
+        events_total: selected.events_total,
+        wall_seconds: selected.wall_seconds,
+        events_per_sec: selected.events_per_sec,
+        spf: bench_spf(config),
+        k_sweep: bench_k_sweep(),
+        peak_queue_depth: selected.peak_queue_depth,
+        peak_rss_bytes: peak_rss_bytes(),
+        variants,
+    }
+}
+
+/// Times one Fig. 4 sweep end to end under `config`'s engine seams.
+fn time_fig4_sweep(config: &ConditionConfig) -> VariantBench {
     let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
     let fail_at = ms(config.fail_at_ms);
     let horizon = ms(config.horizon_ms);
 
-    let grid = fig4_cells();
-    let cells = grid.len();
     let mut events_total = 0u64;
     let mut peak_queue_depth = 0usize;
     let started = Instant::now();
-    for (design, condition) in grid {
+    for (design, condition) in fig4_cells() {
         // Invariant: the default k=8 config always builds (same contract
         // as the Fig. 4 sweep itself).
-        let mut bed = TestBed::build(design, config.k, config.hosts_per_tor)
-            .expect("bench testbed builds"); // lint:allow(panic-safety)
+        let mut bed =
+            TestBed::build_with_config(design, config.k, config.hosts_per_tor, config.emu_config())
+                .expect("bench testbed builds"); // lint:allow(panic-safety)
         let (udp, _tcp) = bed.add_aligned_probes(SimTime::ZERO);
         let anatomy = bed.path_anatomy(udp);
         for &link in &bed.scenario_links(&anatomy, condition) {
@@ -86,15 +164,13 @@ pub fn run_bench_fig4(config: &ConditionConfig) -> BenchFig4 {
     } else {
         0.0
     };
-
-    BenchFig4 {
-        cells,
+    VariantBench {
+        scheduler: config.scheduler,
+        spf_engine: config.spf_engine,
         events_total,
         wall_seconds,
         events_per_sec,
-        spf: bench_spf(config),
         peak_queue_depth,
-        peak_rss_bytes: peak_rss_bytes(),
     }
 }
 
@@ -132,6 +208,123 @@ fn bench_spf(config: &ConditionConfig) -> SpfBench {
     }
 }
 
+/// Builds a converged LSDB over `topo`'s switch fabric, with every ToR
+/// advertising a synthetic /24 (the SPF input a warm router would hold).
+fn fabric_lsdb(topo: &Topology) -> Lsdb {
+    let mut lsdb = Lsdb::new();
+    for node in topo.nodes().filter(|n| n.kind().is_switch()) {
+        let neighbors: Vec<Adjacency> = topo
+            .neighbors(node.id())
+            .filter(|(_, peer)| topo.node(*peer).kind().is_switch())
+            .map(|(link, neighbor)| Adjacency { neighbor, link })
+            .collect();
+        let id = node.id().as_u32();
+        let prefixes = if node.layer() == Some(dcn_net::Layer::Tor) {
+            vec![Prefix::truncating(
+                Ipv4Addr::new(10, (id >> 8) as u8, id as u8, 0),
+                24,
+            )]
+        } else {
+            Vec::new()
+        };
+        lsdb.install(Lsa {
+            origin: node.id(),
+            seq: 1,
+            neighbors,
+            prefixes,
+        });
+    }
+    lsdb
+}
+
+/// Re-originates `node`'s LSA with `link` present or absent.
+fn reoriginate(lsdb: &mut Lsdb, topo: &Topology, node: NodeId, link: dcn_net::LinkId, up: bool) {
+    let mut lsa = lsdb.get(node).expect("warm LSDB").clone(); // lint:allow(panic-safety)
+    if up {
+        let peer = {
+            let (a, b) = topo.link(link).endpoints();
+            if a == node { b } else { a }
+        };
+        lsa.neighbors.push(Adjacency {
+            neighbor: peer,
+            link,
+        });
+        lsa.neighbors.sort_by_key(|a| (a.neighbor, a.link));
+    } else {
+        lsa.neighbors.retain(|a| a.link != link);
+    }
+    lsa.seq += 1;
+    lsdb.install(lsa);
+}
+
+/// Times both SPF engines on the same single-link-flap event stream at
+/// k = 4, 8, 16 F²Tree scales: alternating fail/restore of one fabric
+/// link, each flap one `recompute` with both endpoints dirty — exactly
+/// the work `RouterProcess::on_spf_timer` does after a failure.
+fn bench_k_sweep() -> Vec<KSweepRow> {
+    [4u32, 8, 16]
+        .iter()
+        .map(|&k| {
+            // Invariant: these k values build (even, >= 4, addressable).
+            let topo = f2tree::F2TreeNetwork::build_with_hosts(k, 0)
+                .expect("k-sweep topology builds") // lint:allow(panic-safety)
+                .topology;
+            let mut lsdb = fabric_lsdb(&topo);
+            let switches: Vec<NodeId> = topo
+                .nodes()
+                .filter(|n| n.kind().is_switch())
+                .map(|n| n.id())
+                .collect();
+            let root = *switches.first().expect("fabric has switches"); // lint:allow(panic-safety)
+            // Flap a far-side fabric link the root isn't an endpoint of,
+            // so the incremental engine sees a genuine subtree repair.
+            let link = topo
+                .links()
+                .map(|l| l.id())
+                .filter(|&l| {
+                    let (a, b) = topo.link(l).endpoints();
+                    topo.node(a).kind().is_switch()
+                        && topo.node(b).kind().is_switch()
+                        && a != root
+                        && b != root
+                })
+                .last()
+                .expect("fabric has non-root links"); // lint:allow(panic-safety)
+            let (a, b) = topo.link(link).endpoints();
+            let dirty: BTreeSet<NodeId> = [a, b].into_iter().collect();
+
+            let mut full = FullSpf::new();
+            let mut inc = IncrementalSpf::new();
+            let none = BTreeSet::new();
+            full.recompute(&lsdb, root, &none);
+            inc.recompute(&lsdb, root, &none);
+
+            let runs = 16usize;
+            let mut full_total = 0.0f64;
+            let mut inc_total = 0.0f64;
+            for i in 0..runs {
+                let up = i % 2 == 1;
+                reoriginate(&mut lsdb, &topo, a, link, up);
+                reoriginate(&mut lsdb, &topo, b, link, up);
+                let t = Instant::now();
+                let df = full.recompute(&lsdb, root, &dirty);
+                full_total += t.elapsed().as_secs_f64() * 1e6;
+                let t = Instant::now();
+                let di = inc.recompute(&lsdb, root, &dirty);
+                inc_total += t.elapsed().as_secs_f64() * 1e6;
+                std::hint::black_box((&df, &di));
+            }
+            KSweepRow {
+                k,
+                switches: switches.len(),
+                runs,
+                full_spf_us: full_total / runs as f64,
+                incremental_spf_us: inc_total / runs as f64,
+            }
+        })
+        .collect()
+}
+
 /// `VmHWM` (peak RSS) from `/proc/self/status`, in bytes; `None` when
 /// the platform doesn't expose procfs.
 fn peak_rss_bytes() -> Option<u64> {
@@ -151,10 +344,37 @@ pub fn render_bench_json(b: &BenchFig4) -> String {
     let rss = b
         .peak_rss_bytes
         .map_or("null".to_string(), |v| v.to_string());
+    let variants: Vec<String> = b
+        .variants
+        .iter()
+        .map(|v| {
+            format!(
+                "    {{\"scheduler\": \"{}\", \"spf_engine\": \"{}\", \"events_total\": {}, \
+                 \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}}}",
+                v.scheduler.name(),
+                v.spf_engine.name(),
+                v.events_total,
+                v.wall_seconds,
+                v.events_per_sec,
+            )
+        })
+        .collect();
+    let k_sweep: Vec<String> = b
+        .k_sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"k\": {}, \"switches\": {}, \"runs\": {}, \"full_spf_us\": {:.3}, \
+                 \"incremental_spf_us\": {:.3}}}",
+                r.k, r.switches, r.runs, r.full_spf_us, r.incremental_spf_us,
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"version\": 1,\n  \"experiment\": \"fig4\",\n  \"cells\": {},\n  \
+        "{{\n  \"version\": 2,\n  \"experiment\": \"fig4\",\n  \"cells\": {},\n  \
          \"events_total\": {},\n  \"wall_seconds\": {:.6},\n  \"events_per_sec\": {:.1},\n  \
          \"spf\": {{\"lsdb_nodes\": {}, \"runs\": {}, \"mean_us\": {:.3}, \"min_us\": {:.3}}},\n  \
+         \"variants\": [\n{}\n  ],\n  \"k_sweep\": [\n{}\n  ],\n  \
          \"peak_queue_depth\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
         b.cells,
         b.events_total,
@@ -164,6 +384,8 @@ pub fn render_bench_json(b: &BenchFig4) -> String {
         b.spf.runs,
         b.spf.mean_us,
         b.spf.min_us,
+        variants.join(",\n"),
+        k_sweep.join(",\n"),
         b.peak_queue_depth,
         rss,
     )
@@ -191,9 +413,29 @@ mod tests {
         assert_eq!(b.spf.runs, 32);
         assert!(b.spf.mean_us >= b.spf.min_us);
 
+        // The full scheduler × SPF-engine matrix, and the determinism
+        // law across it: every variant replays the identical event
+        // history, so event counts agree to the last event.
+        assert_eq!(b.variants.len(), 4);
+        for v in &b.variants {
+            assert_eq!(
+                v.events_total, b.events_total,
+                "variant {}x{} diverged from the golden event count",
+                v.scheduler, v.spf_engine
+            );
+            assert!(v.events_per_sec > 0.0);
+        }
+
+        assert_eq!(b.k_sweep.len(), 3);
+        for r in &b.k_sweep {
+            assert!(r.switches > 0);
+            assert!(r.full_spf_us > 0.0);
+            assert!(r.incremental_spf_us > 0.0);
+        }
+
         let json = render_bench_json(&b);
         for key in [
-            "\"version\": 1",
+            "\"version\": 2",
             "\"experiment\": \"fig4\"",
             "\"cells\"",
             "\"events_total\"",
@@ -204,6 +446,14 @@ mod tests {
             "\"runs\"",
             "\"mean_us\"",
             "\"min_us\"",
+            "\"variants\"",
+            "\"scheduler\": \"heap\"",
+            "\"scheduler\": \"calendar\"",
+            "\"spf_engine\": \"full\"",
+            "\"spf_engine\": \"incremental\"",
+            "\"k_sweep\"",
+            "\"full_spf_us\"",
+            "\"incremental_spf_us\"",
             "\"peak_queue_depth\"",
             "\"peak_rss_bytes\"",
         ] {

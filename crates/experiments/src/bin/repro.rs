@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] [--workers N]
+//!       [--scheduler heap|calendar] [--spf full|incremental]
 //!       [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
 //!        c7x|ablation|centralized|unidirectional|all]
 //! repro chaos [--seed N] [--campaigns M] [--workers W] [--out DIR]
-//! repro bench-fig4 [--quick] [--out DIR]
+//! repro bench-fig4 [--quick] [--out DIR] [--scheduler K] [--spf E]
 //! ```
 //!
 //! With no target, everything runs. `--quick` shrinks the Fig. 6
@@ -13,6 +14,12 @@
 //! `--workers N` sets the sweep-engine worker count (default: the
 //! `DCN_WORKERS` env var, else all cores — the output is byte-identical
 //! for every value).
+//!
+//! `--scheduler` and `--spf` select the event-scheduler and SPF-engine
+//! implementations the condition sweeps (fig4/fig5) run under. The
+//! determinism law (DESIGN.md) makes every combination's output
+//! byte-identical — CI's engine-matrix gate replays fig4 under all four
+//! and compares.
 //!
 //! `repro chaos` runs a deterministic failure-injection campaign under
 //! the `dcn-chaos` invariant oracles instead of the paper artifacts:
@@ -35,6 +42,8 @@ use std::path::{Path, PathBuf};
 use dcn_chaos::{run_chaos, run_scenario, shrink_scenario, ChaosConfig};
 
 use dcn_failure::Condition;
+use dcn_routing::SpfEngineKind;
+use dcn_sim::SchedulerKind;
 use dcn_sweep::Workers;
 use f2tree_experiments::artifacts;
 use f2tree_experiments::bench::{render_bench_json, run_bench_fig4};
@@ -75,6 +84,24 @@ fn main() {
         // CLI flag validation: exiting with a message is the intent.
         .map(|v| Workers::parse(v).expect("--workers takes a positive integer")) // lint:allow(panic-safety)
         .unwrap_or_else(Workers::auto);
+    let scheduler = args
+        .iter()
+        .position(|a| a == "--scheduler")
+        .and_then(|i| args.get(i + 1))
+        // CLI flag validation: exiting with a message is the intent.
+        .map(|v| SchedulerKind::parse(v).expect("--scheduler takes heap|calendar")) // lint:allow(panic-safety)
+        .unwrap_or_default();
+    let spf_engine = args
+        .iter()
+        .position(|a| a == "--spf")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| SpfEngineKind::parse(v).expect("--spf takes full|incremental")) // lint:allow(panic-safety)
+        .unwrap_or_default();
+    let condition_cfg = ConditionConfig {
+        scheduler,
+        spf_engine,
+        ..ConditionConfig::default()
+    };
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -83,7 +110,13 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" || *a == "--workers" || *a == "--seed" || *a == "--campaigns" {
+            if *a == "--out"
+                || *a == "--workers"
+                || *a == "--seed"
+                || *a == "--campaigns"
+                || *a == "--scheduler"
+                || *a == "--spf"
+            {
                 skip_next = true;
                 return false;
             }
@@ -97,7 +130,7 @@ fn main() {
         return;
     }
     if targets.contains(&"bench-fig4") {
-        run_bench_cli(quick, out_dir.as_deref());
+        run_bench_cli(&condition_cfg, quick, out_dir.as_deref());
         return;
     }
 
@@ -135,7 +168,7 @@ fn main() {
         println!("{}", format_table4());
     }
     if want("fig4") {
-        let cfg = ConditionConfig::default();
+        let cfg = condition_cfg;
         let results = run_fig4_sweep(&cfg, workers);
         println!("{}", format_fig4(&results));
         if let Some(dir) = &out_dir {
@@ -143,7 +176,7 @@ fn main() {
         }
     }
     if want("fig5") {
-        let cfg = ConditionConfig::default();
+        let cfg = condition_cfg;
         println!("Fig. 5: end-to-end delay during recovery (each char = 10ms; blank = loss):");
         let mut results = Vec::new();
         for (design, condition) in [
@@ -228,8 +261,8 @@ fn main() {
 
 /// The `repro bench-fig4` subcommand: wall-clock hot-path evidence,
 /// written as schema-stable JSON for `xtask check-bench`.
-fn run_bench_cli(quick: bool, out_dir: Option<&Path>) {
-    let mut cfg = ConditionConfig::default();
+fn run_bench_cli(base: &ConditionConfig, quick: bool, out_dir: Option<&Path>) {
+    let mut cfg = *base;
     if quick {
         cfg.horizon_ms /= 5;
     }

@@ -6,9 +6,11 @@
 //! collapse) plus the Fig. 5 end-to-end delay series. Fat tree runs
 //! C1–C5; C6/C7 involve across links and exist only on F²Tree.
 
+use dcn_emu::EmuConfig;
 use dcn_failure::Condition;
 use dcn_metrics::ThroughputSeries;
-use dcn_sim::{SimDuration, SimTime};
+use dcn_routing::SpfEngineKind;
+use dcn_sim::{SchedulerKind, SimDuration, SimTime};
 use dcn_sweep::{ExperimentSpec, Workers};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +31,11 @@ pub struct ConditionConfig {
     pub bin_ms: u64,
     /// Fig. 5 delay down-sampling window.
     pub delay_window_ms: u64,
+    /// Event-scheduler implementation (determinism law: results are
+    /// byte-identical for every kind).
+    pub scheduler: SchedulerKind,
+    /// SPF engine every router runs (same determinism law).
+    pub spf_engine: SpfEngineKind,
 }
 
 impl Default for ConditionConfig {
@@ -42,7 +49,20 @@ impl Default for ConditionConfig {
             // Fig. 5 presentation window; coincides with FIB_UPDATE_DELAY's
             // magnitude but is not a protocol timer.
             delay_window_ms: 10, // lint:allow(timer-provenance)
+            scheduler: SchedulerKind::default(),
+            spf_engine: SpfEngineKind::default(),
         }
+    }
+}
+
+impl ConditionConfig {
+    /// The emulator configuration this sweep cell runs under (paper
+    /// defaults plus the selected engine seams).
+    pub fn emu_config(&self) -> EmuConfig {
+        EmuConfig::builder()
+            .scheduler(self.scheduler)
+            .spf_engine(self.spf_engine)
+            .build()
     }
 }
 
@@ -95,8 +115,9 @@ fn run_condition_measured(
 
     // Invariant: ConditionConfig scales (k=8 class) are valid and
     // addressable; a bad hand-written config should fail loudly.
-    let mut bed = TestBed::build(design, config.k, config.hosts_per_tor)
-        .expect("condition sweep testbed builds"); // lint:allow(panic-safety)
+    let mut bed =
+        TestBed::build_with_config(design, config.k, config.hosts_per_tor, config.emu_config())
+            .expect("condition sweep testbed builds"); // lint:allow(panic-safety)
     // Both probes are pinned onto one forwarding path, as in the paper's
     // testbed, and the condition is resolved against that shared path.
     let (udp, tcp) = bed.add_aligned_probes(SimTime::ZERO);

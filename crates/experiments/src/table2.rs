@@ -32,9 +32,11 @@ pub fn run_table2(k: u32) -> Vec<Table2Row> {
     let agg = bed.agg_rings[0].members[0];
     let router = bed.net.router(agg).expect("agg switch has a router");
     let topo = bed.topology();
-    router
-        .fib()
-        .routes()
+    let mut routes: Vec<_> = router.fib().routes().collect();
+    // The FIB iterator walks the trie in prefix order; the table reads
+    // top-down in lookup order, so sort longest prefixes first.
+    routes.sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()).then(a.prefix.cmp(&b.prefix)));
+    routes
         .into_iter()
         .map(|route| Table2Row {
             destination: route.prefix.to_string(),
@@ -74,14 +76,14 @@ pub fn verify_table2_shape(k: u32) -> Result<(), String> {
     bed.net.run_until(SimTime::ZERO);
     let agg = bed.agg_rings[0].members[0];
     let router = bed.net.router(agg).expect("agg router");
-    let routes = router.fib().routes();
+    let fib = router.fib();
 
-    let ospf24 = routes
-        .iter()
+    let ospf24 = fib
+        .routes()
         .filter(|r| r.origin == RouteOrigin::Ospf && r.prefix.len() == 24)
         .count();
-    let statics: Vec<_> = routes
-        .iter()
+    let statics: Vec<_> = fib
+        .routes()
         .filter(|r| r.origin == RouteOrigin::Static)
         .collect();
     let expected_racks = bed.topology().pods(dcn_net::Layer::Tor).iter().flatten().count()

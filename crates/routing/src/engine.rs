@@ -1,0 +1,915 @@
+//! Pluggable SPF engines: full recompute vs incremental subtree repair.
+//!
+//! [`SpfEngine`] is the second seam of the pluggable hot loop (the first
+//! is `dcn_sim`'s scheduler, the third is [`crate::FibDelta`]): a router
+//! hands its engine the LSDB plus the set of origins whose LSAs changed
+//! since the last run, and gets back the *delta* that moves the FIB from
+//! the previous route set to the new one.
+//!
+//! # Determinism law
+//!
+//! Both engines are pure functions of `(LSDB, root, emitted-so-far)`:
+//! fed the same LSA history they must produce FIB deltas whose
+//! cumulative application yields byte-identical route state. The
+//! `spf_engine_equiv` proptest suite pins [`IncrementalSpf`] to
+//! [`FullSpf`] under arbitrary link flaps, and the CI gate replays
+//! Fig. 4 under both engines against one golden file.
+//!
+//! # Incremental algorithm
+//!
+//! [`IncrementalSpf`] keeps the whole shortest-path DAG (distances,
+//! predecessor edges, settled ECMP first hops, a child index, and an
+//! effective-adjacency snapshot) between runs. On a dirty set it:
+//!
+//! 1. diffs the two-way-checked adjacency of the dirty origins against
+//!    the snapshot (patching both endpoints — `two_way` is undirected),
+//! 2. invalidates the affected subtree: every node that lost a
+//!    predecessor edge, plus its descendant closure in the child index,
+//! 3. re-runs Dijkstra *only from the settled boundary*, reopening
+//!    settled nodes when an added edge strictly improves them,
+//! 4. rebuilds predecessor sets for re-settled and equal-cost-touched
+//!    nodes, then propagates first-hop changes down the child index in
+//!    increasing-distance order, and
+//! 5. emits ops only for nodes whose distance, hop set, reachability,
+//!    or advertised prefixes actually changed.
+//!
+//! Cost scales with the size of the affected subtree, not the topology
+//! — the point of the paper's argument that recovery latency is
+//! dominated by timers, not computation, and the thing `bench-fig4`'s
+//! k-sweep quantifies.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+use dcn_net::{LinkId, NodeId, Prefix};
+
+use crate::fib::{FibDelta, FibOp};
+use crate::lsdb::{Adjacency, Lsdb};
+use crate::route::{NextHop, Route, RouteOrigin};
+use crate::spf::{compute_routes, sp_tree};
+
+/// Which SPF engine a router runs; selected via
+/// `RouterConfig::spf_engine` (and, one layer up, `EmuConfig::builder`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpfEngineKind {
+    /// Full Dijkstra over the whole LSDB on every SPF run (the
+    /// historical behaviour, and the equivalence baseline).
+    #[default]
+    Full,
+    /// Incremental SPF: repair only the shortest-path subtree affected
+    /// by the changed LSAs.
+    Incremental,
+}
+
+impl SpfEngineKind {
+    /// Stable lowercase name (CLI flags, bench rows, golden file tags).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpfEngineKind::Full => "full",
+            SpfEngineKind::Incremental => "incremental",
+        }
+    }
+
+    /// Parses [`Self::name`] output (accepts `ispf` as an alias).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(SpfEngineKind::Full),
+            "incremental" | "ispf" => Some(SpfEngineKind::Incremental),
+            _ => None,
+        }
+    }
+
+    /// Constructs a fresh engine of this kind.
+    pub fn build(self) -> Box<dyn SpfEngine> {
+        match self {
+            SpfEngineKind::Full => Box::new(FullSpf::new()),
+            SpfEngineKind::Incremental => Box::new(IncrementalSpf::new()),
+        }
+    }
+
+    /// Both kinds, in bench/CI sweep order.
+    pub const ALL: [SpfEngineKind; 2] = [SpfEngineKind::Full, SpfEngineKind::Incremental];
+}
+
+impl fmt::Display for SpfEngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An SPF computation strategy with internal route-set memory.
+///
+/// `recompute` is *stateful*: each call returns the [`FibDelta`] from
+/// the previously returned route set to the one implied by the current
+/// LSDB, so deltas must be applied in call order (see the ordering law
+/// on [`FibDelta`]).
+pub trait SpfEngine: fmt::Debug + Send {
+    /// Stable engine name for bench rows and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Recomputes routes for `root` given that only the LSAs of `dirty`
+    /// origins changed since the previous call, returning the FIB delta
+    /// relative to the previous result. The first call (or a `root`
+    /// change) ignores `dirty` and computes from scratch.
+    fn recompute(&mut self, lsdb: &Lsdb, root: NodeId, dirty: &BTreeSet<NodeId>) -> FibDelta;
+
+    /// Overwrites the engine's emitted-route memory with an externally
+    /// installed OSPF route set (the centralized `force_install` path,
+    /// which bypasses `recompute`). The next `recompute` diffs against
+    /// exactly this set.
+    fn force_sync(&mut self, routes: &[Route]);
+}
+
+/// Diffs `desired` against the engine's previously emitted map,
+/// replacing the memory and returning the per-prefix ops.
+fn emit_delta(prev: &mut BTreeMap<Prefix, Route>, desired: BTreeMap<Prefix, Route>) -> FibDelta {
+    let mut ops = Vec::new();
+    for (&prefix, cur) in prev.iter() {
+        match desired.get(&prefix) {
+            None => ops.push(FibOp::Remove(prefix)),
+            Some(want) if want == cur => {}
+            Some(want) => ops.push(FibOp::Patch {
+                prefix,
+                metric: want.metric,
+                // Delta ops own their data: they outlive this borrow of
+                // the desired map (installs are delayed events).
+                next_hops: want.next_hops.clone(), // lint:allow(clone-in-hot-path)
+            }),
+        }
+    }
+    for (&prefix, want) in &desired {
+        if !prev.contains_key(&prefix) {
+            ops.push(FibOp::Insert(want.clone())); // lint:allow(clone-in-hot-path) ops own their data
+        }
+    }
+    *prev = desired;
+    FibDelta {
+        origin: RouteOrigin::Ospf,
+        ops,
+    }
+}
+
+fn routes_to_map(routes: impl IntoIterator<Item = Route>) -> BTreeMap<Prefix, Route> {
+    // Last-wins on duplicate prefixes, matching sequential FIB inserts.
+    routes.into_iter().map(|r| (r.prefix, r)).collect()
+}
+
+/// The historical engine: full ECMP Dijkstra on every run.
+#[derive(Debug, Default)]
+pub struct FullSpf {
+    routes: BTreeMap<Prefix, Route>,
+}
+
+impl FullSpf {
+    /// Creates an engine with empty route memory.
+    pub fn new() -> Self {
+        FullSpf::default()
+    }
+}
+
+impl SpfEngine for FullSpf {
+    fn name(&self) -> &'static str {
+        SpfEngineKind::Full.name()
+    }
+
+    fn recompute(&mut self, lsdb: &Lsdb, root: NodeId, _dirty: &BTreeSet<NodeId>) -> FibDelta {
+        // FullSpf IS the full-recompute baseline behind the SpfEngine
+        // seam — the burn-down target lives in the callers, not here.
+        let desired = routes_to_map(compute_routes(lsdb, root)); // lint:allow(full-recompute-in-event-context)
+        emit_delta(&mut self.routes, desired)
+    }
+
+    fn force_sync(&mut self, routes: &[Route]) {
+        // Rare resync (centralized force_install only), not per-event.
+        self.routes = routes_to_map(routes.iter().cloned()); // lint:allow(clone-in-hot-path)
+    }
+}
+
+/// Two-way-checked adjacency of `n`, sorted and deduplicated — the
+/// canonical form the incremental engine snapshots and diffs.
+fn effective_edges(lsdb: &Lsdb, n: NodeId) -> Vec<Adjacency> {
+    let mut edges: Vec<Adjacency> = lsdb
+        .get(n)
+        .into_iter()
+        .flat_map(|lsa| lsa.neighbors.iter())
+        .filter(|a| lsdb.two_way(n, a.neighbor, a.link))
+        .copied()
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Inserts or removes one adjacency in a sorted snapshot vector.
+fn patch_eff(eff: &mut BTreeMap<NodeId, Vec<Adjacency>>, node: NodeId, adj: Adjacency, add: bool) {
+    let edges = eff.entry(node).or_default();
+    match edges.binary_search(&adj) {
+        Ok(pos) if !add => {
+            edges.remove(pos);
+        }
+        Err(pos) if add => {
+            edges.insert(pos, adj);
+        }
+        _ => {}
+    }
+}
+
+fn relax(
+    cand: &mut BTreeMap<NodeId, u32>,
+    heap: &mut BinaryHeap<Reverse<(u32, NodeId)>>,
+    v: NodeId,
+    nd: u32,
+) {
+    if cand.get(&v).map_or(true, |&c| nd < c) {
+        cand.insert(v, nd);
+        heap.push(Reverse((nd, v)));
+    }
+}
+
+/// Incremental SPF: persistent shortest-path DAG repaired per dirty set.
+#[derive(Debug, Default)]
+pub struct IncrementalSpf {
+    root: Option<NodeId>,
+    /// Settled hop-count distances (root included at 0). A node absent
+    /// here is unreachable or mid-invalidation.
+    dist: BTreeMap<NodeId, u32>,
+    /// `(upstream, first link)` shortest-path predecessor edges.
+    preds: BTreeMap<NodeId, Vec<(NodeId, LinkId)>>,
+    /// Settled ECMP first-hop sets (sorted, deduplicated).
+    hops: BTreeMap<NodeId, Vec<NextHop>>,
+    /// Inverse of `preds` at node granularity: the SPT-DAG child index
+    /// that invalidation cascades and hop propagation walk.
+    children: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Effective (two-way-checked) adjacency snapshot per origin.
+    eff: BTreeMap<NodeId, Vec<Adjacency>>,
+    /// Advertised-prefix snapshot per origin (empty sets omitted).
+    prefixes: BTreeMap<NodeId, Vec<Prefix>>,
+    /// Route set as of the last emitted delta.
+    routes: BTreeMap<Prefix, Route>,
+}
+
+impl IncrementalSpf {
+    /// Creates an engine with no prior state; the first `recompute`
+    /// performs a full build.
+    pub fn new() -> Self {
+        IncrementalSpf::default()
+    }
+
+    fn full_rebuild(&mut self, lsdb: &Lsdb, root: NodeId) -> FibDelta {
+        self.root = Some(root);
+        self.dist.clear();
+        self.preds.clear();
+        self.hops.clear();
+        self.children.clear();
+        self.eff.clear();
+        self.prefixes.clear();
+        for (n, s) in sp_tree(lsdb, root) {
+            for &(u, _) in &s.preds {
+                self.children.entry(u).or_default().insert(n);
+            }
+            self.dist.insert(n, s.dist);
+            if n != root {
+                self.preds.insert(n, s.preds);
+                self.hops.insert(n, s.hops);
+            }
+        }
+        for lsa in lsdb.iter() {
+            let eff = effective_edges(lsdb, lsa.origin);
+            if !eff.is_empty() {
+                self.eff.insert(lsa.origin, eff);
+            }
+            if !lsa.prefixes.is_empty() {
+                // Snapshot clones are inherent: the engine owns its DAG
+                // state across calls (full_rebuild runs once per root).
+                self.prefixes.insert(lsa.origin, lsa.prefixes.clone()); // lint:allow(clone-in-hot-path)
+            }
+        }
+        let desired = self.desired_routes(lsdb, root);
+        emit_delta(&mut self.routes, desired)
+    }
+
+    /// The complete route map implied by the current DAG state
+    /// (full-rebuild path only; incremental runs emit per-node ops).
+    fn desired_routes(&self, lsdb: &Lsdb, root: NodeId) -> BTreeMap<Prefix, Route> {
+        let mut desired = BTreeMap::new();
+        for lsa in lsdb.iter() {
+            if lsa.origin == root || lsa.prefixes.is_empty() {
+                continue;
+            }
+            let Some(&d) = self.dist.get(&lsa.origin) else {
+                continue;
+            };
+            let hops = self.hops.get(&lsa.origin).cloned().unwrap_or_default(); // lint:allow(clone-in-hot-path) full-rebuild path only
+            for &prefix in &lsa.prefixes {
+                // Routes own their hop sets (they cross the install delay).
+                desired.insert(prefix, Route::new(prefix, RouteOrigin::Ospf, d, hops.clone())); // lint:allow(clone-in-hot-path)
+            }
+        }
+        desired
+    }
+
+    /// Removes `n` from the settled region: drops its predecessor edges
+    /// (updating the child index) and its distance. Hops are kept as the
+    /// stale last-emitted value for change detection.
+    fn detach(&mut self, n: NodeId) {
+        if let Some(p) = self.preds.remove(&n) {
+            for (u, _) in p {
+                if let Some(c) = self.children.get_mut(&u) {
+                    c.remove(&n);
+                }
+            }
+        }
+        self.dist.remove(&n);
+    }
+
+    /// Reopens a settled node because a strictly better path appeared.
+    /// Its children are *not* cascaded: each will receive an improving
+    /// relaxation (or was seeded by an edge removal) and reopen itself.
+    fn reopen(&mut self, n: NodeId) {
+        self.detach(n);
+        self.children.remove(&n);
+    }
+
+    fn incremental(&mut self, lsdb: &Lsdb, dirty: &BTreeSet<NodeId>) -> FibDelta {
+        // Documented precondition: recompute() routes here only after a
+        // full build has set self.root.
+        let root = self.root.expect("incremental run requires a prior full build"); // lint:allow(panic-safety)
+
+        // 1. Effective-edge diff for dirty origins. two_way is
+        // undirected, so each discovered change patches the *other*
+        // endpoint's snapshot too — later dirty origins then see
+        // already-patched state and cannot double-report an edge.
+        let mut removed_edges: Vec<(NodeId, NodeId, LinkId)> = Vec::new();
+        let mut added_edges: Vec<(NodeId, NodeId, LinkId)> = Vec::new();
+        let mut prefix_changed: BTreeSet<NodeId> = BTreeSet::new();
+        for &n in dirty {
+            let new_eff = effective_edges(lsdb, n);
+            // Owned copy required: patch_eff mutates self.eff mid-diff.
+            let old_eff = self.eff.get(&n).cloned().unwrap_or_default(); // lint:allow(clone-in-hot-path)
+            for &a in &old_eff {
+                if new_eff.binary_search(&a).is_err() {
+                    removed_edges.push((n, a.neighbor, a.link));
+                    let mirror = Adjacency { neighbor: n, link: a.link };
+                    patch_eff(&mut self.eff, a.neighbor, mirror, false);
+                }
+            }
+            for &a in &new_eff {
+                if old_eff.binary_search(&a).is_err() {
+                    added_edges.push((n, a.neighbor, a.link));
+                    let mirror = Adjacency { neighbor: n, link: a.link };
+                    patch_eff(&mut self.eff, a.neighbor, mirror, true);
+                }
+            }
+            if new_eff.is_empty() {
+                self.eff.remove(&n);
+            } else {
+                self.eff.insert(n, new_eff);
+            }
+            let new_prefixes = lsdb.get(n).map(|l| l.prefixes.as_slice()).unwrap_or(&[]);
+            let old_prefixes = self.prefixes.get(&n).map(Vec::as_slice).unwrap_or(&[]);
+            if new_prefixes != old_prefixes {
+                prefix_changed.insert(n);
+            }
+        }
+
+        // 2. Invalidation closure: every node that lost a predecessor
+        // edge may have lost its distance, and so may its descendants.
+        // (Conservative: a node that merely lost one of several preds is
+        // re-settled at the same distance by the boundary pass.)
+        let mut open: BTreeSet<NodeId> = BTreeSet::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &(u, v, l) in &removed_edges {
+            if self.preds.get(&v).map_or(false, |p| p.contains(&(u, l))) {
+                stack.push(v);
+            }
+            if self.preds.get(&u).map_or(false, |p| p.contains(&(v, l))) {
+                stack.push(u);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            if n == root || !open.insert(n) {
+                continue;
+            }
+            self.detach(n);
+            if let Some(kids) = self.children.remove(&n) {
+                stack.extend(kids);
+            }
+        }
+
+        // 3. Dijkstra from the settled boundary. `dist` now holds only
+        // settled nodes, so a `dist` hit doubles as the settled check.
+        let mut cand: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
+        let mut preds_dirty: BTreeSet<NodeId> = BTreeSet::new();
+        for &n in &open {
+            for adj in self.eff.get(&n).into_iter().flatten() {
+                if let Some(&du) = self.dist.get(&adj.neighbor) {
+                    relax(&mut cand, &mut heap, n, du + 1);
+                }
+            }
+        }
+        for &(u, v, _) in &added_edges {
+            for (x, y) in [(u, v), (v, u)] {
+                let Some(&dx) = self.dist.get(&x) else { continue };
+                let nd = dx + 1;
+                match self.dist.get(&y).copied() {
+                    Some(dy) if dy < nd => {}
+                    Some(dy) if dy == nd => {
+                        preds_dirty.insert(y);
+                    }
+                    Some(_) => {
+                        // Strict improvement of a settled node.
+                        self.reopen(y);
+                        open.insert(y);
+                        relax(&mut cand, &mut heap, y, nd);
+                    }
+                    None => {
+                        if open.contains(&y) {
+                            relax(&mut cand, &mut heap, y, nd);
+                        }
+                        // Not open and not settled: y is a fresh node the
+                        // boundary pass missed only if it is itself dirty
+                        // — then its own eff scan above seeded it via the
+                        // open set. A never-before-seen node always
+                        // enters via `dirty`, so seed it here too.
+                        else {
+                            open.insert(y);
+                            relax(&mut cand, &mut heap, y, nd);
+                        }
+                    }
+                }
+            }
+        }
+        let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if cand.get(&u).copied() != Some(d) {
+                continue; // stale heap entry
+            }
+            cand.remove(&u);
+            self.dist.insert(u, d);
+            touched.insert(u);
+            // Owned copy: the relax loop below mutates self (reopen,
+            // dist inserts) while iterating these edges.
+            let edges = self.eff.get(&u).cloned().unwrap_or_default(); // lint:allow(clone-in-hot-path)
+            for adj in edges {
+                let v = adj.neighbor;
+                let nd = d + 1;
+                match self.dist.get(&v).copied() {
+                    Some(dv) if dv < nd => {}
+                    Some(dv) if dv == nd => {
+                        // Equal-cost edge into a settled node: its pred
+                        // set (and possibly hop set) must be rebuilt.
+                        preds_dirty.insert(v);
+                    }
+                    Some(_) => {
+                        // Heap pops in nondecreasing order, so a node
+                        // settled *this* round can never satisfy dv > nd
+                        // — only stale pre-existing distances reopen.
+                        self.reopen(v);
+                        open.insert(v);
+                        relax(&mut cand, &mut heap, v, nd);
+                    }
+                    None => relax(&mut cand, &mut heap, v, nd),
+                }
+            }
+        }
+
+        // 4. Anything opened but never re-settled is now unreachable.
+        let unreachable: Vec<NodeId> = open
+            .iter()
+            .filter(|n| !touched.contains(n))
+            .copied()
+            .collect();
+        for &n in &unreachable {
+            self.hops.remove(&n);
+            preds_dirty.remove(&n);
+        }
+
+        // 5. Rebuild predecessor sets: re-settled nodes plus settled
+        // nodes that gained/kept equal-cost edges. The predecessor set
+        // of n is exactly its effective neighbors at distance dist(n)-1.
+        let mut rebuild: BTreeSet<NodeId> = touched.clone(); // lint:allow(clone-in-hot-path) touched is read again in step 7
+        rebuild.extend(preds_dirty.iter().filter(|n| self.dist.contains_key(n)));
+        rebuild.remove(&root);
+        for &n in &rebuild {
+            let Some(&dn) = self.dist.get(&n) else { continue };
+            let Some(target) = dn.checked_sub(1) else { continue };
+            // Bounded by the affected subtree, not the topology — the
+            // whole point of the incremental engine.
+            let new_preds: Vec<(NodeId, LinkId)> = self // lint:allow(alloc-in-hot-loop)
+                .eff
+                .get(&n)
+                .into_iter()
+                .flatten()
+                .filter(|a| self.dist.get(&a.neighbor).copied() == Some(target))
+                .map(|a| (a.neighbor, a.link))
+                .collect(); // lint:allow(alloc-in-hot-loop)
+            let old = self.preds.insert(n, new_preds.clone()).unwrap_or_default(); // lint:allow(clone-in-hot-path) preds map owns its entry
+            for &(u, _) in &old {
+                if !new_preds.iter().any(|&(v, _)| v == u) {
+                    if let Some(c) = self.children.get_mut(&u) {
+                        c.remove(&n);
+                    }
+                }
+            }
+            for &(u, _) in &new_preds {
+                self.children.entry(u).or_default().insert(n);
+            }
+        }
+
+        // 6. Propagate first-hop changes down the child index in
+        // increasing-distance order (a child is always exactly one hop
+        // deeper, so every predecessor's set is final when read).
+        let mut work: BTreeSet<(u32, NodeId)> = BTreeSet::new();
+        for &n in &rebuild {
+            if let Some(&d) = self.dist.get(&n) {
+                work.insert((d, n));
+            }
+        }
+        let mut hops_changed: BTreeSet<NodeId> = BTreeSet::new();
+        let mut set: Vec<NextHop> = Vec::new();
+        while let Some((_, n)) = work.pop_first() {
+            set.clear();
+            for &(u, link) in self.preds.get(&n).into_iter().flatten() {
+                if u == root {
+                    set.push(NextHop { node: n, link });
+                } else if let Some(h) = self.hops.get(&u) {
+                    set.extend_from_slice(h);
+                }
+            }
+            set.sort();
+            set.dedup();
+            if self.hops.get(&n).map(Vec::as_slice) != Some(set.as_slice()) {
+                self.hops.insert(n, set.clone()); // lint:allow(clone-in-hot-path) hops map owns its entry; set is the reused scratch
+                hops_changed.insert(n);
+                for &c in self.children.get(&n).into_iter().flatten() {
+                    if let Some(&dc) = self.dist.get(&c) {
+                        work.insert((dc, c));
+                    }
+                }
+            }
+        }
+
+        // 7. Emit ops only for origins whose route inputs changed.
+        let mut affected: BTreeSet<NodeId> = BTreeSet::new();
+        affected.extend(touched.iter().copied());
+        affected.extend(hops_changed.iter().copied());
+        affected.extend(unreachable.iter().copied());
+        affected.extend(prefix_changed.iter().copied());
+        affected.remove(&root);
+        let mut ops: Vec<FibOp> = Vec::new();
+        for &n in &affected {
+            let old_prefixes = self.prefixes.remove(&n).unwrap_or_default();
+            // Per-affected-origin, not per-topology; the clone feeds the
+            // retained prefix snapshot below.
+            let new_prefixes: Vec<Prefix> = // lint:allow(clone-in-hot-path, alloc-in-hot-loop)
+                lsdb.get(n).map(|l| l.prefixes.clone()).unwrap_or_default(); // lint:allow(clone-in-hot-path)
+            let reach = self.dist.get(&n).copied();
+            let mut union: BTreeSet<Prefix> = old_prefixes.iter().copied().collect(); // lint:allow(alloc-in-hot-loop) bounded by affected origins
+            union.extend(new_prefixes.iter().copied());
+            for &prefix in &union {
+                let desired = if new_prefixes.contains(&prefix) {
+                    reach.map(|d| {
+                        Route::new(
+                            prefix,
+                            RouteOrigin::Ospf,
+                            d,
+                            // Routes own their hop sets.
+                            self.hops.get(&n).cloned().unwrap_or_default(), // lint:allow(clone-in-hot-path)
+                        )
+                    })
+                } else {
+                    None
+                };
+                match (self.routes.get(&prefix), desired) {
+                    (None, None) => {}
+                    (None, Some(r)) => {
+                        ops.push(FibOp::Insert(r.clone())); // lint:allow(clone-in-hot-path) ops own their data
+                        self.routes.insert(prefix, r);
+                    }
+                    (Some(_), None) => {
+                        ops.push(FibOp::Remove(prefix));
+                        self.routes.remove(&prefix);
+                    }
+                    (Some(cur), Some(r)) => {
+                        if *cur != r {
+                            ops.push(FibOp::Patch {
+                                prefix,
+                                metric: r.metric,
+                                next_hops: r.next_hops.clone(), // lint:allow(clone-in-hot-path) ops own their data
+                            });
+                            self.routes.insert(prefix, r);
+                        }
+                    }
+                }
+            }
+            if !new_prefixes.is_empty() {
+                self.prefixes.insert(n, new_prefixes);
+            }
+        }
+        FibDelta {
+            origin: RouteOrigin::Ospf,
+            ops,
+        }
+    }
+}
+
+impl SpfEngine for IncrementalSpf {
+    fn name(&self) -> &'static str {
+        SpfEngineKind::Incremental.name()
+    }
+
+    fn recompute(&mut self, lsdb: &Lsdb, root: NodeId, dirty: &BTreeSet<NodeId>) -> FibDelta {
+        if self.root != Some(root) {
+            self.full_rebuild(lsdb, root)
+        } else {
+            self.incremental(lsdb, dirty)
+        }
+    }
+
+    fn force_sync(&mut self, routes: &[Route]) {
+        *self = IncrementalSpf {
+            // Rare resync (centralized force_install only), not per-event.
+            routes: routes_to_map(routes.iter().cloned()), // lint:allow(clone-in-hot-path)
+            ..IncrementalSpf::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::Fib;
+    use crate::lsdb::Lsa;
+    use dcn_net::Prefix;
+
+    fn adj(n: u32, l: u32) -> Adjacency {
+        Adjacency {
+            neighbor: NodeId::new(n),
+            link: LinkId::new(l),
+        }
+    }
+
+    /// A diamond: 0 -(l0)- 1 -(l2)- 3, 0 -(l1)- 2 -(l3)- 3; 3 advertises
+    /// a prefix (same fixture as the spf module tests).
+    fn diamond() -> Lsdb {
+        let mut db = Lsdb::new();
+        db.install(Lsa {
+            origin: NodeId::new(0),
+            seq: 1,
+            neighbors: vec![adj(1, 0), adj(2, 1)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(1),
+            seq: 1,
+            neighbors: vec![adj(0, 0), adj(3, 2)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(2),
+            seq: 1,
+            neighbors: vec![adj(0, 1), adj(3, 3)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(3),
+            seq: 1,
+            neighbors: vec![adj(1, 2), adj(2, 3)],
+            prefixes: vec!["10.11.0.0/24".parse::<Prefix>().unwrap()],
+        });
+        db
+    }
+
+    /// Applies each engine's delta stream to its own FIB and asserts the
+    /// two FIBs stay byte-identical after every step.
+    struct Harness {
+        full: FullSpf,
+        inc: IncrementalSpf,
+        fib_full: Fib,
+        fib_inc: Fib,
+        root: NodeId,
+    }
+
+    impl Harness {
+        fn new(root: NodeId) -> Self {
+            Harness {
+                full: FullSpf::new(),
+                inc: IncrementalSpf::new(),
+                fib_full: Fib::new(0),
+                fib_inc: Fib::new(0),
+                root,
+            }
+        }
+
+        fn step(&mut self, lsdb: &Lsdb, dirty: &BTreeSet<NodeId>) -> (FibDelta, FibDelta) {
+            let df = self.full.recompute(lsdb, self.root, dirty);
+            let di = self.inc.recompute(lsdb, self.root, dirty);
+            self.fib_full.apply(df.clone());
+            self.fib_inc.apply(di.clone());
+            let rf: Vec<Route> = self.fib_full.routes().cloned().collect();
+            let ri: Vec<Route> = self.fib_inc.routes().cloned().collect();
+            assert_eq!(rf, ri, "engines diverged (root {:?})", self.root);
+            (df, di)
+        }
+    }
+
+    fn dirty_of(nodes: &[u32]) -> BTreeSet<NodeId> {
+        nodes.iter().map(|&n| NodeId::new(n)).collect()
+    }
+
+    #[test]
+    fn first_run_matches_full_dijkstra() {
+        let db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        let (df, di) = h.step(&db, &BTreeSet::new());
+        assert_eq!(df.len(), 1, "one prefix inserted");
+        assert_eq!(di.len(), 1);
+    }
+
+    #[test]
+    fn link_removal_patches_only_the_changed_prefix() {
+        let mut db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        // Node 1 withdraws its link to 3: the 1-arm dies, ECMP shrinks.
+        db.install(Lsa {
+            origin: NodeId::new(1),
+            seq: 2,
+            neighbors: vec![adj(0, 0)],
+            prefixes: vec![],
+        });
+        let (_, di) = h.step(&db, &dirty_of(&[1]));
+        assert_eq!(di.len(), 1, "exactly one patch op: {di:?}");
+        assert!(matches!(di.ops[0], FibOp::Patch { .. }));
+    }
+
+    #[test]
+    fn disconnection_removes_routes() {
+        let mut db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        db.install(Lsa {
+            origin: NodeId::new(1),
+            seq: 2,
+            neighbors: vec![adj(0, 0)],
+            prefixes: vec![],
+        });
+        h.step(&db, &dirty_of(&[1]));
+        db.install(Lsa {
+            origin: NodeId::new(2),
+            seq: 2,
+            neighbors: vec![adj(0, 1)],
+            prefixes: vec![],
+        });
+        let (_, di) = h.step(&db, &dirty_of(&[2]));
+        assert_eq!(di.len(), 1);
+        assert!(matches!(di.ops[0], FibOp::Remove(_)));
+        assert!(h.fib_inc.is_empty());
+    }
+
+    #[test]
+    fn link_restoration_reconverges() {
+        let mut db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        db.install(Lsa {
+            origin: NodeId::new(1),
+            seq: 2,
+            neighbors: vec![adj(0, 0)],
+            prefixes: vec![],
+        });
+        h.step(&db, &dirty_of(&[1]));
+        // Restore: ECMP must come back identically.
+        db.install(Lsa {
+            origin: NodeId::new(1),
+            seq: 3,
+            neighbors: vec![adj(0, 0), adj(3, 2)],
+            prefixes: vec![],
+        });
+        let (_, di) = h.step(&db, &dirty_of(&[1]));
+        assert_eq!(di.len(), 1);
+        let route = h
+            .fib_inc
+            .routes()
+            .find(|r| r.origin == RouteOrigin::Ospf)
+            .unwrap();
+        assert_eq!(route.next_hops.len(), 2);
+    }
+
+    #[test]
+    fn prefix_change_without_topology_change_is_detected() {
+        let mut db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        db.install(Lsa {
+            origin: NodeId::new(3),
+            seq: 2,
+            neighbors: vec![adj(1, 2), adj(2, 3)],
+            prefixes: vec![
+                "10.11.0.0/24".parse::<Prefix>().unwrap(),
+                "10.11.1.0/24".parse::<Prefix>().unwrap(),
+            ],
+        });
+        let (_, di) = h.step(&db, &dirty_of(&[3]));
+        assert_eq!(di.len(), 1, "one insert for the new prefix: {di:?}");
+        assert!(matches!(di.ops[0], FibOp::Insert(_)));
+    }
+
+    #[test]
+    fn empty_dirty_set_is_a_noop_after_convergence() {
+        let db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        let (df, di) = h.step(&db, &dirty_of(&[0, 1, 2, 3]));
+        assert!(df.is_empty());
+        assert!(di.is_empty());
+    }
+
+    #[test]
+    fn improving_shortcut_reopens_settled_nodes() {
+        // Path 0-1-2-3 with 3 advertising; then a direct 0-3 link
+        // appears: 3's distance improves 3 -> 1 and its old subtree
+        // state must not survive.
+        let mut db = Lsdb::new();
+        db.install(Lsa {
+            origin: NodeId::new(0),
+            seq: 1,
+            neighbors: vec![adj(1, 0)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(1),
+            seq: 1,
+            neighbors: vec![adj(0, 0), adj(2, 1)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(2),
+            seq: 1,
+            neighbors: vec![adj(1, 1), adj(3, 2)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(3),
+            seq: 1,
+            neighbors: vec![adj(2, 2)],
+            prefixes: vec!["10.11.0.0/24".parse::<Prefix>().unwrap()],
+        });
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        db.install(Lsa {
+            origin: NodeId::new(0),
+            seq: 2,
+            neighbors: vec![adj(1, 0), adj(3, 9)],
+            prefixes: vec![],
+        });
+        db.install(Lsa {
+            origin: NodeId::new(3),
+            seq: 2,
+            neighbors: vec![adj(2, 2), adj(0, 9)],
+            prefixes: vec!["10.11.0.0/24".parse::<Prefix>().unwrap()],
+        });
+        let (_, di) = h.step(&db, &dirty_of(&[0, 3]));
+        assert_eq!(di.len(), 1);
+        let route = h
+            .fib_inc
+            .routes()
+            .find(|r| r.origin == RouteOrigin::Ospf)
+            .unwrap();
+        assert_eq!(route.metric, 1);
+        assert_eq!(route.next_hops, vec![NextHop {
+            node: NodeId::new(3),
+            link: LinkId::new(9),
+        }]);
+    }
+
+    #[test]
+    fn force_sync_resets_the_diff_baseline() {
+        let db = diamond();
+        let mut h = Harness::new(NodeId::new(0));
+        h.step(&db, &BTreeSet::new());
+        // Externally clear the OSPF routes (controller override), sync
+        // both engines, and verify the next run re-emits everything.
+        h.fib_full.replace_origin(RouteOrigin::Ospf, vec![]);
+        h.fib_inc.replace_origin(RouteOrigin::Ospf, vec![]);
+        h.full.force_sync(&[]);
+        h.inc.force_sync(&[]);
+        let (df, di) = h.step(&db, &BTreeSet::new());
+        assert_eq!(df.len(), 1);
+        assert_eq!(di.len(), 1);
+        assert!(!h.fib_inc.is_empty());
+    }
+
+    #[test]
+    fn kind_round_trips_and_builds() {
+        for kind in SpfEngineKind::ALL {
+            assert_eq!(SpfEngineKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(SpfEngineKind::parse("ispf"), Some(SpfEngineKind::Incremental));
+        assert_eq!(SpfEngineKind::parse("nope"), None);
+        assert_eq!(SpfEngineKind::default(), SpfEngineKind::Full);
+    }
+}

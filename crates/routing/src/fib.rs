@@ -9,12 +9,78 @@
 //! instant the interface is marked down, with zero control-plane work
 //! (paper §II-B, Table II).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use dcn_net::{FlowKey, Ipv4Addr, LinkId, Prefix};
 
 use crate::ecmp::ecmp_select;
 use crate::route::{NextHop, Route, RouteOrigin};
+
+/// One FIB mutation within a [`FibDelta`].
+///
+/// Every op is *absolute* — it carries the complete desired state for its
+/// prefix (never a relative adjustment), so re-applying an op is
+/// idempotent and a superseded delta's dropped ops can never corrupt
+/// prefixes a newer delta already wrote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FibOp {
+    /// Install this route (upsert: replaces any same-prefix route of the
+    /// delta's origin).
+    Insert(Route),
+    /// Remove the delta-origin route for this prefix, if present.
+    Remove(Prefix),
+    /// Rewrite the metric and next-hop set of the existing delta-origin
+    /// route for `prefix` in place — the common convergence case, which
+    /// skips the insert path's route-vector churn.
+    Patch {
+        /// The prefix whose route is rewritten.
+        prefix: Prefix,
+        /// New path metric.
+        metric: u32,
+        /// New ECMP next-hop set (sorted, deduplicated).
+        next_hops: Vec<NextHop>,
+    },
+}
+
+/// A batch of per-prefix FIB mutations for one route origin — the SPF →
+/// FIB currency: SPF engines emit deltas, [`Fib::apply`] consumes them.
+///
+/// # Ordering law
+///
+/// Deltas from one SPF engine form a sequence: each is computed against
+/// the engine's post-previous-delta state, so they must be applied in
+/// generation order. The emulator guarantees this (the FIB-update delay
+/// is constant, so installs land in SPF order); the generation guard in
+/// `RouterProcess::on_install` only drops exact replays defensively.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FibDelta {
+    /// The origin whose routes the ops mutate.
+    pub origin: RouteOrigin,
+    /// Mutations in ascending-prefix order (removes/patches before
+    /// inserts is not required — ops touch disjoint prefixes).
+    pub ops: Vec<FibOp>,
+}
+
+impl FibDelta {
+    /// An empty delta for `origin`.
+    pub fn empty(origin: RouteOrigin) -> Self {
+        FibDelta {
+            origin,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Whether the delta performs no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of mutations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
 
 #[derive(Default)]
 struct TrieNode {
@@ -111,24 +177,85 @@ impl Fib {
         Some(removed)
     }
 
-    /// Atomically replaces every route of `origin` with `routes` (the
-    /// FIB-install step that follows an SPF run).
-    pub fn replace_origin(&mut self, origin: RouteOrigin, routes: Vec<Route>) {
-        fn strip(node: &mut TrieNode, origin: RouteOrigin, removed: &mut usize) {
-            let before = node.routes.len();
-            node.routes.retain(|r| r.origin != origin);
-            *removed += before - node.routes.len();
-            for child in node.children.iter_mut().flatten() {
-                strip(child, origin, removed);
+    /// Applies a [`FibDelta`]: per-prefix inserts, removes, and in-place
+    /// next-hop patches. Unlike the historical whole-origin trie rebuild,
+    /// cost scales with the number of *changed* prefixes, not the FIB
+    /// size.
+    pub fn apply(&mut self, delta: FibDelta) {
+        let origin = delta.origin;
+        for op in delta.ops {
+            match op {
+                FibOp::Insert(route) => {
+                    debug_assert_eq!(route.origin, origin);
+                    self.insert(route);
+                }
+                FibOp::Remove(prefix) => {
+                    self.remove(prefix, origin);
+                }
+                FibOp::Patch {
+                    prefix,
+                    metric,
+                    next_hops,
+                } => {
+                    let node = self.node_mut(prefix);
+                    if let Some(existing) =
+                        node.routes.iter_mut().find(|r| r.origin == origin)
+                    {
+                        existing.metric = metric;
+                        existing.next_hops = next_hops;
+                    } else {
+                        // Ops are absolute, so a patch against a missing
+                        // entry upserts (tolerates replayed sequences).
+                        self.insert(Route::new(prefix, origin, metric, next_hops));
+                    }
+                }
             }
         }
-        let mut removed = 0;
-        strip(&mut self.root, origin, &mut removed);
-        self.route_count -= removed;
+    }
+
+    /// Computes the [`FibDelta`] that transforms this FIB's current
+    /// `origin` routes into exactly `routes` (duplicate prefixes:
+    /// last-wins, matching sequential insert semantics).
+    pub fn diff_origin(&self, origin: RouteOrigin, routes: Vec<Route>) -> FibDelta {
+        let mut desired: BTreeMap<Prefix, Route> = BTreeMap::new();
         for route in routes {
             debug_assert_eq!(route.origin, origin);
-            self.insert(route);
+            desired.insert(route.prefix, route);
         }
+        let current: BTreeMap<Prefix, &Route> = self
+            .routes()
+            .filter(|r| r.origin == origin)
+            .map(|r| (r.prefix, r))
+            .collect();
+        let mut ops = Vec::new();
+        for (&prefix, &cur) in &current {
+            match desired.get(&prefix) {
+                None => ops.push(FibOp::Remove(prefix)),
+                Some(want) if want == cur => {}
+                Some(want) => ops.push(FibOp::Patch {
+                    prefix,
+                    metric: want.metric,
+                    // Delta ops own their data: they outlive this borrow
+                    // of the trie (FIB installs are delayed events).
+                    next_hops: want.next_hops.clone(), // lint:allow(clone-in-hot-path)
+                }),
+            }
+        }
+        for (prefix, want) in desired {
+            if !current.contains_key(&prefix) {
+                ops.push(FibOp::Insert(want));
+            }
+        }
+        FibDelta { origin, ops }
+    }
+
+    /// Atomically replaces every route of `origin` with `routes` (the
+    /// centralized-controller install path and test convenience).
+    /// Implemented as [`Fib::diff_origin`] + [`Fib::apply`], so it shares
+    /// the delta machinery end to end.
+    pub fn replace_origin(&mut self, origin: RouteOrigin, routes: Vec<Route>) {
+        let delta = self.diff_origin(origin, routes);
+        self.apply(delta);
     }
 
     /// Looks up the forwarding decision for `flow`.
@@ -191,19 +318,49 @@ impl Fib {
         None
     }
 
-    /// All installed routes, longest prefixes first (for display and
-    /// assertions — Table II style dumps).
-    pub fn routes(&self) -> Vec<Route> {
-        fn collect(node: &TrieNode, out: &mut Vec<Route>) {
-            out.extend(node.routes.iter().cloned());
-            for child in node.children.iter().flatten() {
-                collect(child, out);
-            }
+    /// Borrowing iterator over every installed route, in deterministic
+    /// trie pre-order (parent prefixes before children, 0-bit subtree
+    /// first). No routes are cloned; collect and sort if a display
+    /// order (e.g. Table II's longest-first) is wanted.
+    pub fn routes(&self) -> RoutesIter<'_> {
+        RoutesIter {
+            stack: vec![&self.root],
+            current: [].iter(),
         }
-        let mut out = Vec::with_capacity(self.route_count);
-        collect(&self.root, &mut out);
-        out.sort_by(|a, b| b.prefix.len().cmp(&a.prefix.len()).then(a.prefix.cmp(&b.prefix)));
-        out
+    }
+}
+
+/// Borrowing pre-order iterator over a [`Fib`]'s routes (see
+/// [`Fib::routes`]).
+pub struct RoutesIter<'a> {
+    stack: Vec<&'a TrieNode>,
+    current: std::slice::Iter<'a, Route>,
+}
+
+impl<'a> Iterator for RoutesIter<'a> {
+    type Item = &'a Route;
+
+    fn next(&mut self) -> Option<&'a Route> {
+        loop {
+            if let Some(route) = self.current.next() {
+                return Some(route);
+            }
+            let node = self.stack.pop()?;
+            // Push the 1-bit child first so the 0-bit subtree pops first,
+            // keeping the historical deterministic dump order.
+            for child in node.children.iter().rev().flatten() {
+                self.stack.push(child);
+            }
+            self.current = node.routes.iter();
+        }
+    }
+}
+
+impl fmt::Debug for RoutesIter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutesIter")
+            .field("pending_nodes", &self.stack.len())
+            .finish()
     }
 }
 
@@ -355,8 +512,7 @@ mod tests {
             .unwrap();
         assert_eq!(h.node, NodeId::new(9));
         // Statics survived.
-        let routes = fib.routes();
-        assert!(routes.iter().any(|r| r.origin == RouteOrigin::Static
+        assert!(fib.routes().any(|r| r.origin == RouteOrigin::Static
             && r.prefix.to_string() == "10.10.0.0/15"));
     }
 
@@ -396,10 +552,78 @@ mod tests {
     }
 
     #[test]
-    fn routes_dump_orders_longest_first() {
+    fn routes_iterates_every_route_without_cloning() {
         let fib = table2_fib();
-        let lens: Vec<u8> = fib.routes().iter().map(|r| r.prefix.len()).collect();
+        let mut lens: Vec<u8> = fib.routes().map(|r| r.prefix.len()).collect();
+        assert_eq!(lens.len(), fib.len());
+        lens.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(lens, vec![24, 24, 16, 15]);
+    }
+
+    #[test]
+    fn apply_patches_in_place_and_upserts_missing() {
+        let mut fib = table2_fib();
+        let p24: Prefix = "10.11.0.0/24".parse().unwrap();
+        let p_new: Prefix = "10.11.9.0/24".parse().unwrap();
+        fib.apply(FibDelta {
+            origin: RouteOrigin::Ospf,
+            ops: vec![
+                FibOp::Patch {
+                    prefix: p24,
+                    metric: 7,
+                    next_hops: vec![hop(9, 1)],
+                },
+                FibOp::Remove("10.11.4.0/24".parse().unwrap()),
+                FibOp::Insert(Route::new(p_new, RouteOrigin::Ospf, 2, vec![hop(20, 5)])),
+                // Patch against a prefix with no OSPF route: absolute ops
+                // upsert instead of dropping the write.
+                FibOp::Patch {
+                    prefix: "10.11.8.0/24".parse().unwrap(),
+                    metric: 3,
+                    next_hops: vec![hop(21, 6)],
+                },
+            ],
+        });
+        assert_eq!(fib.len(), 5); // 4 - 1 removed + 1 insert + 1 upsert
+        let patched = fib
+            .routes()
+            .find(|r| r.prefix == p24 && r.origin == RouteOrigin::Ospf)
+            .unwrap();
+        assert_eq!(patched.metric, 7);
+        assert_eq!(patched.next_hops, vec![hop(9, 1)]);
+        assert!(!fib
+            .routes()
+            .any(|r| r.prefix.to_string() == "10.11.4.0/24"));
+    }
+
+    #[test]
+    fn diff_origin_emits_minimal_ops_and_round_trips() {
+        let fib = table2_fib();
+        // Same desired state -> empty delta.
+        let unchanged: Vec<Route> = fib
+            .routes()
+            .filter(|r| r.origin == RouteOrigin::Ospf)
+            .cloned()
+            .collect();
+        assert!(fib.diff_origin(RouteOrigin::Ospf, unchanged).is_empty());
+
+        // One changed, one dropped, one added -> exactly three ops, and
+        // applying them reproduces replace_origin's end state.
+        let desired = vec![
+            Route::new("10.11.0.0/24".parse().unwrap(), RouteOrigin::Ospf, 9, vec![hop(9, 1)]),
+            Route::new("10.11.9.0/24".parse().unwrap(), RouteOrigin::Ospf, 2, vec![hop(20, 5)]),
+        ];
+        let delta = fib.diff_origin(RouteOrigin::Ospf, desired.clone());
+        assert_eq!(delta.len(), 3);
+        let mut via_delta = table2_fib();
+        via_delta.apply(delta);
+        let mut got: Vec<Route> = via_delta.routes().cloned().collect();
+        got.sort_by_key(|r| (r.prefix, r.origin));
+        let mut want_fib = table2_fib();
+        want_fib.replace_origin(RouteOrigin::Ospf, desired);
+        let mut want: Vec<Route> = want_fib.routes().cloned().collect();
+        want.sort_by_key(|r| (r.prefix, r.origin));
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -12,12 +12,19 @@
 //!    [`RouterAction::FloodLsa`] / [`RouterProcess::on_lsa`],
 //! 3. *SPF throttle* (200 ms initial, exponential backoff) →
 //!    [`RouterAction::ScheduleSpf`] / [`RouterProcess::on_spf_timer`],
-//! 4. *FIB update* (10 ms) → [`RouterAction::InstallRoutes`] /
+//! 4. *FIB update* (10 ms) → [`RouterAction::Install`] /
 //!    [`RouterProcess::on_install`].
 //!
 //! F²Tree's fast reroute never touches steps 2–4: the moment step 1 marks
 //! the interface dead, [`RouterProcess::forward`] falls through to the
 //! pre-installed static backup routes.
+//!
+//! The SPF step is pluggable: [`RouterConfig::spf_engine`] selects a
+//! [`crate::SpfEngine`], the router tracks which LSA origins changed
+//! since the last run, and each run yields a [`FibDelta`] rather than a
+//! whole route vector. Event handlers append into a caller-provided
+//! scratch `Vec<RouterAction>` so the emulator's hot loop reuses one
+//! allocation across all dispatches.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -25,13 +32,13 @@ use std::fmt;
 use dcn_net::{FlowKey, LinkId, NodeId, Prefix};
 use dcn_sim::{timers, SimDuration, SimTime};
 
-use crate::fib::Fib;
+use crate::engine::{SpfEngine, SpfEngineKind};
+use crate::fib::{Fib, FibDelta};
 use crate::lsdb::{Adjacency, Lsa, Lsdb};
 use crate::route::{NextHop, Route, RouteOrigin};
-use crate::spf::compute_routes;
 use crate::throttle::{SpfThrottle, ThrottleConfig};
 
-/// Router timer configuration.
+/// Router timer and engine configuration.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RouterConfig {
     /// SPF throttle parameters.
@@ -39,6 +46,8 @@ pub struct RouterConfig {
     /// Delay between an SPF run and the new routes landing in the FIB
     /// (the paper measures ~10 ms on the testbed).
     pub fib_update_delay: SimDuration,
+    /// Which SPF engine computes routes (full Dijkstra by default).
+    pub spf_engine: SpfEngineKind,
 }
 
 impl Default for RouterConfig {
@@ -46,6 +55,7 @@ impl Default for RouterConfig {
         RouterConfig {
             throttle: ThrottleConfig::default(),
             fib_update_delay: timers::FIB_UPDATE_DELAY,
+            spf_engine: SpfEngineKind::default(),
         }
     }
 }
@@ -67,13 +77,15 @@ pub enum RouterAction {
         at: SimTime,
     },
     /// Schedule [`RouterProcess::on_install`] at the given instant.
-    InstallRoutes {
+    Install {
         /// When the FIB install completes.
         at: SimTime,
-        /// Monotonic generation so stale installs are ignored.
+        /// Monotonic generation so replayed installs are ignored.
         generation: u64,
-        /// The OSPF route set to install.
-        routes: Vec<Route>,
+        /// The FIB mutations this SPF run produced (possibly empty —
+        /// the install event still fires, keeping event counts and
+        /// timing identical across engines).
+        delta: FibDelta,
     },
 }
 
@@ -96,6 +108,12 @@ pub struct RouterProcess {
     fib: Fib,
     lsdb: Lsdb,
     throttle: SpfThrottle,
+    /// The pluggable SPF computation (full or incremental).
+    engine: Box<dyn SpfEngine>,
+    /// LSA origins whose advertisements changed since the last SPF run
+    /// — the incremental engine's work list. Ordered set: feeds the
+    /// engine's edge-diff order.
+    dirty: BTreeSet<NodeId>,
     seq: u64,
     install_gen: u64,
     installed_gen: u64,
@@ -120,6 +138,8 @@ impl RouterProcess {
             fib: Fib::new(node.as_u32() as u64),
             lsdb: Lsdb::new(),
             throttle: SpfThrottle::new(config.throttle),
+            engine: config.spf_engine.build(),
+            dirty: BTreeSet::new(),
             seq: 0,
             install_gen: 0,
             installed_gen: 0,
@@ -204,6 +224,7 @@ impl RouterProcess {
             prefixes: self.my_prefixes.clone(),
         };
         self.lsdb.install(lsa.clone());
+        self.dirty.insert(self.node);
         lsa
     }
 
@@ -214,8 +235,12 @@ impl RouterProcess {
         for lsa in lsas {
             self.lsdb.install(lsa);
         }
-        let routes = compute_routes(&self.lsdb, self.node);
-        self.fib.replace_origin(RouteOrigin::Ospf, routes);
+        // Run the engine from scratch so its route memory matches the
+        // warm-started FIB exactly (the dirty set is irrelevant to a
+        // first build, but clearing it keeps the next run minimal).
+        let delta = self.engine.recompute(&self.lsdb, self.node, &self.dirty);
+        self.dirty.clear();
+        self.fib.apply(delta);
     }
 
     // ------------------------------------------------------------------
@@ -223,77 +248,98 @@ impl RouterProcess {
     // ------------------------------------------------------------------
 
     /// A local interface changed state (called by the emulator one
-    /// detection delay after the physical change).
-    pub fn on_link_detected(&mut self, now: SimTime, link: LinkId, up: bool) -> Vec<RouterAction> {
+    /// detection delay after the physical change). Resulting actions are
+    /// *appended* to `actions` — the caller owns (and reuses) the
+    /// scratch buffer.
+    pub fn on_link_detected(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        up: bool,
+        actions: &mut Vec<RouterAction>,
+    ) {
         let changed = if up {
             self.dead.remove(&link)
         } else {
             self.dead.insert(link)
         };
         if !changed {
-            return Vec::new();
+            return;
         }
         if self.passive.contains(&link) {
             // Passive interfaces are invisible to OSPF: the dead-set
             // update (which drives fast-reroute fall-through) is all that
             // happens.
-            return Vec::new();
+            return;
         }
         let lsa = self.originate_lsa();
-        let mut actions = vec![RouterAction::FloodLsa { lsa, except: None }];
+        actions.push(RouterAction::FloodLsa { lsa, except: None });
         if let Some(at) = self.throttle.on_trigger(now) {
             actions.push(RouterAction::ScheduleSpf { at });
         }
-        actions
     }
 
-    /// An LSA arrived on `arrived_on`.
-    pub fn on_lsa(&mut self, now: SimTime, lsa: Lsa, arrived_on: LinkId) -> Vec<RouterAction> {
+    /// An LSA arrived on `arrived_on`; actions are appended to `actions`.
+    pub fn on_lsa(
+        &mut self,
+        now: SimTime,
+        lsa: Lsa,
+        arrived_on: LinkId,
+        actions: &mut Vec<RouterAction>,
+    ) {
         if lsa.origin == self.node {
             // Our own LSA echoed back; our copy is always as fresh.
-            return Vec::new();
+            return;
         }
         if !self.lsdb.install(lsa.clone()) {
-            return Vec::new(); // stale duplicate — do not re-flood
+            return; // stale duplicate — do not re-flood
         }
-        let mut actions = vec![RouterAction::FloodLsa {
+        self.dirty.insert(lsa.origin);
+        actions.push(RouterAction::FloodLsa {
             lsa,
             except: Some(arrived_on),
-        }];
+        });
         if let Some(at) = self.throttle.on_trigger(now) {
             actions.push(RouterAction::ScheduleSpf { at });
         }
-        actions
     }
 
-    /// The scheduled SPF timer fired.
-    pub fn on_spf_timer(&mut self, now: SimTime) -> Vec<RouterAction> {
+    /// The scheduled SPF timer fired: the engine consumes the dirty set
+    /// and the resulting delta is scheduled for install. The install
+    /// action is emitted even when the delta is empty so event counts
+    /// and timing do not depend on the engine choice.
+    pub fn on_spf_timer(&mut self, now: SimTime, actions: &mut Vec<RouterAction>) {
         self.throttle.on_run(now);
-        let routes = compute_routes(&self.lsdb, self.node);
+        let delta = self.engine.recompute(&self.lsdb, self.node, &self.dirty);
+        self.dirty.clear();
         self.install_gen += 1;
-        vec![RouterAction::InstallRoutes {
+        actions.push(RouterAction::Install {
             at: now + self.config.fib_update_delay,
             generation: self.install_gen,
-            routes,
-        }]
+            delta,
+        });
     }
 
     /// Installs a route set pushed by a central controller, bypassing the
     /// distributed SPF/generation pipeline (paper §V, centralized
-    /// routing DCNs).
+    /// routing DCNs). The SPF engine's route memory is re-synced so a
+    /// later distributed run diffs against what is actually installed.
     pub fn force_install(&mut self, routes: Vec<Route>) {
         self.install_gen += 1;
         self.installed_gen = self.install_gen;
+        self.engine.force_sync(&routes);
         self.fib.replace_origin(RouteOrigin::Ospf, routes);
     }
 
-    /// The scheduled FIB install completed.
-    pub fn on_install(&mut self, generation: u64, routes: Vec<Route>) {
+    /// The scheduled FIB install completed: apply the delta. Deltas
+    /// arrive in generation order (the FIB-update delay is constant), so
+    /// the guard only drops exact replays.
+    pub fn on_install(&mut self, generation: u64, delta: FibDelta) {
         if generation <= self.installed_gen {
-            return; // superseded by a newer SPF run
+            return; // already applied (replayed event)
         }
         self.installed_gen = generation;
-        self.fib.replace_origin(RouteOrigin::Ospf, routes);
+        self.fib.apply(delta);
     }
 
     /// Data-plane forwarding decision for a packet (FIB lookup with
@@ -367,11 +413,18 @@ mod tests {
         assert!(hop.node == NodeId::new(1) || hop.node == NodeId::new(2));
     }
 
+    /// Test convenience: collect a handler's appended actions.
+    fn collected(f: impl FnOnce(&mut Vec<RouterAction>)) -> Vec<RouterAction> {
+        let mut actions = Vec::new();
+        f(&mut actions);
+        actions
+    }
+
     #[test]
     fn detection_floods_and_schedules_spf() {
         let mut routers = diamond();
         let now = SimTime::ZERO + SimDuration::from_millis(440);
-        let actions = routers[1].on_link_detected(now, LinkId::new(2), false);
+        let actions = collected(|a| routers[1].on_link_detected(now, LinkId::new(2), false, a));
         assert_eq!(actions.len(), 2);
         let RouterAction::FloodLsa { lsa, except } = &actions[0] else {
             panic!("expected flood, got {actions:?}");
@@ -389,9 +442,9 @@ mod tests {
     fn duplicate_detection_is_idempotent() {
         let mut routers = diamond();
         let now = SimTime::ZERO;
-        let first = routers[1].on_link_detected(now, LinkId::new(2), false);
+        let first = collected(|a| routers[1].on_link_detected(now, LinkId::new(2), false, a));
         assert!(!first.is_empty());
-        let second = routers[1].on_link_detected(now, LinkId::new(2), false);
+        let second = collected(|a| routers[1].on_link_detected(now, LinkId::new(2), false, a));
         assert!(second.is_empty());
     }
 
@@ -405,7 +458,7 @@ mod tests {
             neighbors: vec![],
             prefixes: vec![],
         };
-        let a1 = routers[0].on_lsa(now, lsa.clone(), LinkId::new(0));
+        let a1 = collected(|a| routers[0].on_lsa(now, lsa.clone(), LinkId::new(0), a));
         assert!(matches!(
             a1.first(),
             Some(RouterAction::FloodLsa {
@@ -414,7 +467,7 @@ mod tests {
             }) if *l == LinkId::new(0)
         ));
         // The same LSA arriving on the other interface is a stale dup.
-        let a2 = routers[0].on_lsa(now, lsa, LinkId::new(1));
+        let a2 = collected(|a| routers[0].on_lsa(now, lsa, LinkId::new(1), a));
         assert!(a2.is_empty());
     }
 
@@ -424,13 +477,13 @@ mod tests {
         let t0 = SimTime::ZERO + SimDuration::from_millis(440);
 
         // r1 detects its link to r3 dead, floods, schedules SPF.
-        let actions = routers[1].on_link_detected(t0, LinkId::new(2), false);
+        let actions = collected(|a| routers[1].on_link_detected(t0, LinkId::new(2), false, a));
         let lsa = match &actions[0] {
             RouterAction::FloodLsa { lsa, .. } => lsa.clone(),
             _ => unreachable!(),
         };
         // r0 receives the LSA and schedules its own SPF.
-        let a0 = routers[0].on_lsa(t0, lsa, LinkId::new(0));
+        let a0 = collected(|a| routers[0].on_lsa(t0, lsa, LinkId::new(0), a));
         let spf_at = a0
             .iter()
             .find_map(|a| match a {
@@ -439,17 +492,17 @@ mod tests {
             })
             .unwrap();
         // SPF runs, then the FIB install lands 10ms later.
-        let actions = routers[0].on_spf_timer(spf_at);
-        let (at, generation, routes) = match &actions[0] {
-            RouterAction::InstallRoutes {
+        let actions = collected(|a| routers[0].on_spf_timer(spf_at, a));
+        let (at, generation, delta) = match &actions[0] {
+            RouterAction::Install {
                 at,
                 generation,
-                routes,
-            } => (*at, *generation, routes.clone()),
+                delta,
+            } => (*at, *generation, delta.clone()),
             _ => unreachable!(),
         };
         assert_eq!((at - spf_at).as_millis(), 10);
-        routers[0].on_install(generation, routes);
+        routers[0].on_install(generation, delta);
 
         // Now r0 must route exclusively via r2.
         for sport in 0..20 {
@@ -464,26 +517,34 @@ mod tests {
         let mut routers = diamond();
         let t0 = SimTime::ZERO;
         // Two SPF cycles produce generations 1 and 2.
-        routers[0].on_link_detected(t0, LinkId::new(0), false);
-        let spf1 = routers[0].on_spf_timer(t0 + SimDuration::from_millis(200));
-        routers[0].on_link_detected(t0 + SimDuration::from_millis(300), LinkId::new(0), true);
-        let spf2 = routers[0].on_spf_timer(t0 + SimDuration::from_millis(600));
-        let (g1, r1) = match &spf1[0] {
-            RouterAction::InstallRoutes {
-                generation, routes, ..
-            } => (*generation, routes.clone()),
+        let mut scratch = Vec::new();
+        routers[0].on_link_detected(t0, LinkId::new(0), false, &mut scratch);
+        let spf1 = collected(|a| routers[0].on_spf_timer(t0 + SimDuration::from_millis(200), a));
+        routers[0].on_link_detected(
+            t0 + SimDuration::from_millis(300),
+            LinkId::new(0),
+            true,
+            &mut scratch,
+        );
+        let spf2 = collected(|a| routers[0].on_spf_timer(t0 + SimDuration::from_millis(600), a));
+        let (g1, d1) = match &spf1[0] {
+            RouterAction::Install {
+                generation, delta, ..
+            } => (*generation, delta.clone()),
             _ => unreachable!(),
         };
-        let (g2, r2) = match &spf2[0] {
-            RouterAction::InstallRoutes {
-                generation, routes, ..
-            } => (*generation, routes.clone()),
+        let (g2, d2) = match &spf2[0] {
+            RouterAction::Install {
+                generation, delta, ..
+            } => (*generation, delta.clone()),
             _ => unreachable!(),
         };
-        // Newer install lands first; the stale one must not clobber it.
-        routers[0].on_install(g2, r2);
+        // The flap fully reverted, so g2's absolute ops cover everything
+        // g1 touched: applying g2 first and dropping the replayed g1
+        // must leave forwarding at the g2 state.
+        routers[0].on_install(g2, d2);
         let hops_after_g2 = routers[0].forward(&flow()).map(|h| h.node);
-        routers[0].on_install(g1, r1);
+        routers[0].on_install(g1, d1);
         assert_eq!(routers[0].forward(&flow()).map(|h| h.node), hops_after_g2);
     }
 
@@ -504,7 +565,8 @@ mod tests {
         assert_eq!(routers[1].forward(&flow()).unwrap().node, NodeId::new(3));
         // Detection marks the interface dead; the very next lookup falls
         // through to the backup — no SPF, no FIB install.
-        routers[1].on_link_detected(SimTime::ZERO, LinkId::new(2), false);
+        let mut scratch = Vec::new();
+        routers[1].on_link_detected(SimTime::ZERO, LinkId::new(2), false, &mut scratch);
         assert_eq!(routers[1].forward(&flow()).unwrap().node, NodeId::new(0));
     }
 
@@ -524,9 +586,12 @@ mod tests {
     fn recovery_restores_the_link() {
         let mut routers = diamond();
         let t0 = SimTime::ZERO;
-        routers[1].on_link_detected(t0, LinkId::new(2), false);
+        let mut scratch = Vec::new();
+        routers[1].on_link_detected(t0, LinkId::new(2), false, &mut scratch);
         assert!(routers[1].is_dead(LinkId::new(2)));
-        let actions = routers[1].on_link_detected(t0 + SimDuration::from_secs(5), LinkId::new(2), true);
+        let actions = collected(|a| {
+            routers[1].on_link_detected(t0 + SimDuration::from_secs(5), LinkId::new(2), true, a)
+        });
         assert!(!routers[1].is_dead(LinkId::new(2)));
         // Re-origination includes the link again.
         let RouterAction::FloodLsa { lsa, .. } = &actions[0] else {
@@ -586,11 +651,12 @@ mod passive_tests {
     fn passive_link_state_changes_stay_local() {
         let mut routers = pair();
         // Passive link fails: dead set updates, but no flood and no SPF.
-        let actions = routers[0].on_link_detected(SimTime::ZERO, LinkId::new(1), false);
+        let mut actions = Vec::new();
+        routers[0].on_link_detected(SimTime::ZERO, LinkId::new(1), false, &mut actions);
         assert!(actions.is_empty());
         assert!(routers[0].is_dead(LinkId::new(1)));
         // Normal link fails: the full pipeline triggers.
-        let actions = routers[0].on_link_detected(SimTime::ZERO, LinkId::new(0), false);
+        routers[0].on_link_detected(SimTime::ZERO, LinkId::new(0), false, &mut actions);
         assert_eq!(actions.len(), 2);
     }
 
@@ -624,7 +690,8 @@ mod passive_tests {
         ));
         // Kill the normal link: lookup falls through to the passive
         // across link's static backup with no control-plane involvement.
-        routers[0].on_link_detected(SimTime::ZERO, LinkId::new(0), false);
+        let mut scratch = Vec::new();
+        routers[0].on_link_detected(SimTime::ZERO, LinkId::new(0), false, &mut scratch);
         let flow = FlowKey::new(
             Ipv4Addr::new(10, 12, 0, 1),
             Ipv4Addr::new(10, 11, 0, 9),
@@ -648,8 +715,11 @@ mod passive_tests {
                 link: LinkId::new(0),
             }],
         )]);
-        let routes = routers[0].fib().routes();
-        let ospf: Vec<_> = routes.iter().filter(|r| r.origin == RouteOrigin::Ospf).collect();
+        let ospf: Vec<_> = routers[0]
+            .fib()
+            .routes()
+            .filter(|r| r.origin == RouteOrigin::Ospf)
+            .collect();
         assert_eq!(ospf.len(), 1);
         assert_eq!(ospf[0].metric, 9);
     }

@@ -39,12 +39,13 @@ fn build_routers() -> (Topology, HashMap<NodeId, RouterProcess>) {
 /// everywhere.
 fn converge(topo: &Topology, routers: &mut HashMap<NodeId, RouterProcess>, dead: &[LinkId]) {
     let now = SimTime::ZERO + SimDuration::from_millis(100);
+    let mut scratch = Vec::new();
     // Detections at both endpoints.
     for &link in dead {
         let (a, b) = topo.link(link).endpoints();
         for node in [a, b] {
             if let Some(r) = routers.get_mut(&node) {
-                r.on_link_detected(now, link, false);
+                r.on_link_detected(now, link, false, &mut scratch);
             }
         }
     }
@@ -57,20 +58,22 @@ fn converge(topo: &Topology, routers: &mut HashMap<NodeId, RouterProcess>, dead:
         let router = routers.get_mut(node).unwrap();
         for lsa in &lsas {
             if lsa.origin != *node {
-                router.on_lsa(now, lsa.clone(), topo.neighbors(*node).next().unwrap().0);
+                scratch.clear();
+                router.on_lsa(now, lsa.clone(), topo.neighbors(*node).next().unwrap().0, &mut scratch);
             }
         }
     }
     // SPF + immediate install.
     for node in &switch_ids {
         let router = routers.get_mut(node).unwrap();
-        let actions = router.on_spf_timer(now + SimDuration::from_millis(200));
-        for action in actions {
-            if let dcn_routing::RouterAction::InstallRoutes {
-                generation, routes, ..
+        scratch.clear();
+        router.on_spf_timer(now + SimDuration::from_millis(200), &mut scratch);
+        for action in scratch.drain(..) {
+            if let dcn_routing::RouterAction::Install {
+                generation, delta, ..
             } = action
             {
-                router.on_install(generation, routes);
+                router.on_install(generation, delta);
             }
         }
     }
@@ -106,7 +109,6 @@ proptest! {
             let have: Vec<_> = router
                 .fib()
                 .routes()
-                .into_iter()
                 .filter(|r| r.origin == dcn_routing::RouteOrigin::Ospf)
                 .collect();
             prop_assert_eq!(

@@ -1,0 +1,251 @@
+//! Engine-equivalence properties: incremental SPF must reproduce full
+//! SPF's route set exactly, for every router, under arbitrary link-flap
+//! histories.
+//!
+//! This is the determinism law from `dcn_routing::engine`: both engines
+//! are pure functions of the LSA history, so after every flap the FIB
+//! built from [`IncrementalSpf`]'s deltas must be byte-identical to the
+//! one built from [`FullSpf`]'s — and both must match a from-scratch
+//! `compute_routes` oracle on the current LSDB.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dcn_net::{FatTree, Ipv4Addr, Layer, LeafSpine, LinkId, NodeId, Prefix, Topology};
+use dcn_routing::{
+    compute_routes, Adjacency, Fib, FullSpf, IncrementalSpf, Lsa, Lsdb, Route, SpfEngine,
+};
+use proptest::prelude::*;
+
+/// A mutable converged control plane over `topo`: flipping a link
+/// re-originates both endpoint LSAs, exactly like detection would.
+struct World {
+    topo: Topology,
+    lsdb: Lsdb,
+    dead: BTreeSet<LinkId>,
+    seq: u64,
+}
+
+impl World {
+    fn new(topo: Topology) -> Self {
+        let mut w = World {
+            topo,
+            lsdb: Lsdb::new(),
+            dead: BTreeSet::new(),
+            seq: 1,
+        };
+        let switches: Vec<NodeId> = w.switches();
+        for node in switches {
+            let lsa = w.lsa_for(node);
+            w.lsdb.install(lsa);
+        }
+        w
+    }
+
+    fn switches(&self) -> Vec<NodeId> {
+        self.topo
+            .nodes()
+            .filter(|n| n.kind().is_switch())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    fn lsa_for(&self, node: NodeId) -> Lsa {
+        let neighbors: Vec<Adjacency> = self
+            .topo
+            .neighbors(node)
+            .filter(|(link, _)| !self.dead.contains(link))
+            .filter(|(_, peer)| self.topo.node(*peer).kind().is_switch())
+            .map(|(link, neighbor)| Adjacency { neighbor, link })
+            .collect();
+        let prefixes = if self.topo.node(node).layer() == Some(Layer::Tor) {
+            vec![Prefix::truncating(
+                Ipv4Addr::new(10, 11, node.as_u32() as u8, 0),
+                24,
+            )]
+        } else {
+            Vec::new()
+        };
+        Lsa {
+            origin: node,
+            seq: self.seq,
+            neighbors,
+            prefixes,
+        }
+    }
+
+    /// Flips one link and re-originates both endpoint LSAs, returning
+    /// the dirty origin set a router would accumulate.
+    fn toggle(&mut self, link: LinkId) -> BTreeSet<NodeId> {
+        if !self.dead.remove(&link) {
+            self.dead.insert(link);
+        }
+        self.seq += 1;
+        let (a, b) = self.topo.link(link).endpoints();
+        let mut dirty = BTreeSet::new();
+        for node in [a, b] {
+            if self.topo.node(node).kind().is_switch() {
+                let lsa = self.lsa_for(node);
+                self.lsdb.install(lsa);
+                dirty.insert(node);
+            }
+        }
+        dirty
+    }
+}
+
+/// One full/incremental engine pair per router, each feeding its own FIB.
+struct Pair {
+    root: NodeId,
+    full: FullSpf,
+    inc: IncrementalSpf,
+    fib_full: Fib,
+    fib_inc: Fib,
+}
+
+impl Pair {
+    fn step(&mut self, lsdb: &Lsdb, dirty: &BTreeSet<NodeId>) {
+        let df = self.full.recompute(lsdb, self.root, dirty);
+        let di = self.inc.recompute(lsdb, self.root, dirty);
+        self.fib_full.apply(df);
+        self.fib_inc.apply(di);
+    }
+
+    fn assert_converged(&self, lsdb: &Lsdb) {
+        let have: Vec<Route> = self.fib_inc.routes().cloned().collect();
+        let want: Vec<Route> = self.fib_full.routes().cloned().collect();
+        assert_eq!(have, want, "engines diverged at root {:?}", self.root);
+        // Both must equal the from-scratch oracle (last-wins per prefix,
+        // though prefixes are unique per origin here).
+        let oracle: BTreeMap<Prefix, Route> = compute_routes(lsdb, self.root)
+            .into_iter()
+            .map(|r| (r.prefix, r))
+            .collect();
+        let got: BTreeMap<Prefix, Route> = have.into_iter().map(|r| (r.prefix, r)).collect();
+        assert_eq!(got, oracle, "stale route state at root {:?}", self.root);
+    }
+}
+
+/// Runs a flap history on `topo`, checking every router after each step.
+/// `flaps` indexes into the link list; chunks of `batch` flips land in
+/// one SPF run (multi-failure events share a dirty set).
+fn assert_equivalent_under_flaps(topo: Topology, flaps: &[prop::sample::Index], batch: usize) {
+    let links: Vec<LinkId> = topo
+        .links()
+        .map(|l| l.id())
+        .filter(|&l| {
+            let (a, b) = topo.link(l).endpoints();
+            topo.node(a).kind().is_switch() && topo.node(b).kind().is_switch()
+        })
+        .collect();
+    let mut world = World::new(topo);
+    let mut pairs: Vec<Pair> = world
+        .switches()
+        .into_iter()
+        .map(|root| Pair {
+            root,
+            full: FullSpf::new(),
+            inc: IncrementalSpf::new(),
+            fib_full: Fib::new(0),
+            fib_inc: Fib::new(0),
+        })
+        .collect();
+
+    // Warm start.
+    let none = BTreeSet::new();
+    for pair in &mut pairs {
+        pair.step(&world.lsdb, &none);
+        pair.assert_converged(&world.lsdb);
+    }
+
+    for chunk in flaps.chunks(batch) {
+        let mut dirty = BTreeSet::new();
+        for idx in chunk {
+            let link = links[idx.index(links.len())];
+            dirty.extend(world.toggle(link));
+        }
+        for pair in &mut pairs {
+            pair.step(&world.lsdb, &dirty);
+            pair.assert_converged(&world.lsdb);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fat tree k=4: single-link flap sequences.
+    #[test]
+    fn fat_tree_single_flaps_are_equivalent(
+        flaps in prop::collection::vec(any::<prop::sample::Index>(), 1..8)
+    ) {
+        let topo = FatTree::new(4).unwrap().hosts_per_tor(0).build();
+        assert_equivalent_under_flaps(topo, &flaps, 1);
+    }
+
+    /// Fat tree k=4: double-link failure events (two flips per SPF run —
+    /// the paper's "2 links" scenario class).
+    #[test]
+    fn fat_tree_double_flaps_are_equivalent(
+        flaps in prop::collection::vec(any::<prop::sample::Index>(), 2..8)
+    ) {
+        let topo = FatTree::new(4).unwrap().hosts_per_tor(0).build();
+        assert_equivalent_under_flaps(topo, &flaps, 2);
+    }
+
+    /// Leaf-spine: single flaps on the two-tier topology.
+    #[test]
+    fn leaf_spine_single_flaps_are_equivalent(
+        flaps in prop::collection::vec(any::<prop::sample::Index>(), 1..8)
+    ) {
+        let topo = LeafSpine::new(4, 3).unwrap().build();
+        assert_equivalent_under_flaps(topo, &flaps, 1);
+    }
+
+    /// Leaf-spine: double-failure events.
+    #[test]
+    fn leaf_spine_double_flaps_are_equivalent(
+        flaps in prop::collection::vec(any::<prop::sample::Index>(), 2..8)
+    ) {
+        let topo = LeafSpine::new(4, 3).unwrap().build();
+        assert_equivalent_under_flaps(topo, &flaps, 2);
+    }
+}
+
+/// Deterministic regression: fail both parallel agg-ring links (the
+/// F²Tree rewiring pair), then restore them one at a time.
+#[test]
+fn rewired_pair_fail_and_staged_restore() {
+    let topo = FatTree::new(4).unwrap().hosts_per_tor(0).build();
+    let links: Vec<LinkId> = topo.links().map(|l| l.id()).take(2).collect();
+    let mut world = World::new(topo);
+    let mut pairs: Vec<Pair> = world
+        .switches()
+        .into_iter()
+        .map(|root| Pair {
+            root,
+            full: FullSpf::new(),
+            inc: IncrementalSpf::new(),
+            fib_full: Fib::new(0),
+            fib_inc: Fib::new(0),
+        })
+        .collect();
+    let none = BTreeSet::new();
+    for pair in &mut pairs {
+        pair.step(&world.lsdb, &none);
+    }
+    // Both links die in one event.
+    let mut dirty = world.toggle(links[0]);
+    dirty.extend(world.toggle(links[1]));
+    for pair in &mut pairs {
+        pair.step(&world.lsdb, &dirty);
+        pair.assert_converged(&world.lsdb);
+    }
+    // Staged restore.
+    for &link in &links {
+        let dirty = world.toggle(link);
+        for pair in &mut pairs {
+            pair.step(&world.lsdb, &dirty);
+            pair.assert_converged(&world.lsdb);
+        }
+    }
+}

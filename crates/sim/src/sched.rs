@@ -1,0 +1,716 @@
+//! Pluggable event schedulers behind the [`EventScheduler`] seam.
+//!
+//! The emulator's hot loop is "pop the earliest event, dispatch, repeat".
+//! This module abstracts *how* the pending-event set is organized so the
+//! dispatch loop can swap priority-queue implementations without any
+//! behavioural difference:
+//!
+//! * [`EventQueue`] — the original binary heap (`O(log n)` per op), and
+//! * [`CalendarQueue`] — a hierarchical calendar queue / timing wheel
+//!   tuned to the paper's timer constants (`O(1)` amortized per op for
+//!   the dense short-horizon timers that dominate the workload).
+//!
+//! # Determinism laws
+//!
+//! Every implementation MUST uphold the contract the golden fixtures and
+//! the byte-identity regressions rely on:
+//!
+//! 1. **Total order.** Events pop in strictly non-decreasing `(time,
+//!    seq)` order, where `seq` is the global scheduling sequence number
+//!    (assigned by `schedule`, starting at 0). Two events at the same
+//!    instant therefore pop in the order they were scheduled —
+//!    regardless of payload, and regardless of the internal layout.
+//! 2. **No wall clock.** Ordering decisions may depend only on `(time,
+//!    seq)`; never on OS time, hash order, or allocation addresses.
+//! 3. **Monotone clock.** `now()` is the timestamp of the last popped
+//!    event (`SimTime::ZERO` before the first pop); `schedule` panics if
+//!    asked to schedule before `now()` — scheduling into the past is
+//!    always a simulator bug, and silently reordering it would break
+//!    replay.
+//! 4. **Conserved counters.** `len` + `processed()` equals the number of
+//!    `schedule` calls; `peak_pending()` is the high-water mark of
+//!    `len()` over the scheduler's lifetime.
+//!
+//! The `sched_equiv` proptest suite asserts law 1 by popping identical
+//! random schedules through both implementations and requiring identical
+//! `(time, seq, payload)` streams.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// The scheduling contract shared by every event-queue implementation.
+///
+/// See the [module docs](self) for the determinism laws implementations
+/// must uphold. The emulator is generic over this seam via
+/// [`AnyScheduler`]; select an implementation with
+/// `EmuConfig::builder().scheduler(..)`.
+pub trait EventScheduler<E> {
+    /// The current simulation time (the time of the last popped event).
+    fn now(&self) -> SimTime;
+
+    /// Schedules `event` at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventScheduler::now`].
+    fn schedule(&mut self, at: SimTime, event: E);
+
+    /// Pops the earliest `(time, seq)` event and advances the clock to it.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The time of the next event, if any. Must agree with what the next
+    /// [`EventScheduler::pop`] would return.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events popped so far.
+    fn processed(&self) -> u64;
+
+    /// High-water mark of pending events over the scheduler's lifetime.
+    fn peak_pending(&self) -> usize;
+}
+
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule(self, at, event)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
+    }
+
+    fn processed(&self) -> u64 {
+        EventQueue::processed(self)
+    }
+
+    fn peak_pending(&self) -> usize {
+        EventQueue::peak_pending(self)
+    }
+}
+
+/// Which [`EventScheduler`] implementation the emulator drives.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The original [`EventQueue`] binary heap. The default: every golden
+    /// fixture was recorded under it, and the calendar queue is required
+    /// to reproduce its pop order exactly.
+    #[default]
+    Heap,
+    /// The [`CalendarQueue`] timing wheel.
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name (CLI flag values, bench rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+
+    /// Parses a CLI flag value produced by [`SchedulerKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" => Some(SchedulerKind::Heap),
+            "calendar" => Some(SchedulerKind::Calendar),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Log2 of the wheel bucket width in nanoseconds: 2^17 ns = 131.072 µs,
+/// one notch above the densest periodic timer in the model (the 100 µs
+/// TCP pacing / probe tick), so steady-state traffic lands in the
+/// current or adjacent bucket.
+const BUCKET_BITS: u32 = 17;
+
+/// Number of wheel buckets (power of two so the index is a mask). The
+/// wheel span is `NUM_BUCKETS << BUCKET_BITS` = 2^28 ns ≈ 268 ms, which
+/// covers every per-event protocol timer in `crate::timers` — the 60 ms
+/// detection delay, the 200 ms initial SPF throttle, the 10 ms FIB
+/// install delay — so only rare long timers (SPF backoff toward the 10 s
+/// hold, scenario-scripted failures) touch the overflow heap.
+const NUM_BUCKETS: usize = 2048;
+
+/// Wheel span in ticks == `NUM_BUCKETS`; kept as a u64 for tick math.
+const SPAN_TICKS: u64 = NUM_BUCKETS as u64;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap but the overflow wants
+        // earliest-(time, seq)-first, exactly like `EventQueue`.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A hierarchical calendar queue (single-level timing wheel + overflow
+/// heap) implementing [`EventScheduler`] with the same observable pop
+/// order as [`EventQueue`].
+///
+/// Events within the wheel span (~268 ms past the cursor) go into one of
+/// [`NUM_BUCKETS`] buckets of 2^[`BUCKET_BITS`] ns each; later events go
+/// into a `(time, seq)`-ordered overflow heap and migrate into the wheel
+/// as the cursor advances. Each bucket maps to exactly one tick inside
+/// the span, so the first non-empty bucket at/after the cursor holds the
+/// globally earliest events; the true minimum within a bucket is found
+/// by a linear `(time, seq)` scan (buckets are small — one tick wide).
+///
+/// The cursor only advances inside [`CalendarQueue::pop`] (lazily, to
+/// the tick actually popped), never past a tick that `schedule` could
+/// still legally target: after a pop, the cursor tick equals the tick of
+/// `now()`, and `schedule` requires `at >= now()`.
+pub struct CalendarQueue<E> {
+    /// `buckets[tick & (NUM_BUCKETS - 1)]` holds entries whose tick lies
+    /// in `[cursor_tick, cursor_tick + SPAN_TICKS)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Tick of the wheel origin. Invariants at rest: `cursor_tick ==
+    /// tick(now)`, and every overflow entry's tick is `>= cursor_tick +
+    /// SPAN_TICKS`.
+    cursor_tick: u64,
+    /// Entries currently stored in wheel buckets.
+    wheel_len: usize,
+    /// Entries beyond the wheel span, earliest-`(time, seq)`-first.
+    overflow: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+    peak: usize,
+}
+
+fn tick_of(at: SimTime) -> u64 {
+    at.as_nanos() >> BUCKET_BITS
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty calendar queue positioned at time zero.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor_tick: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+            peak: 0,
+        }
+    }
+
+    fn bucket_mut(&mut self, tick: u64) -> &mut Vec<Entry<E>> {
+        let idx = (tick as usize) & (NUM_BUCKETS - 1);
+        // The mask keeps `idx < NUM_BUCKETS`, so the slot always exists;
+        // the empty fallback is unreachable but keeps this panic-free.
+        match self.buckets.get_mut(idx) {
+            Some(b) => b,
+            // lint:allow(panic-safety) masked index is always < NUM_BUCKETS
+            None => unreachable!("masked wheel index in range"),
+        }
+    }
+
+    /// Moves every overflow entry that now fits the wheel span into its
+    /// bucket. Must be called after every `cursor_tick` advance so that
+    /// the "overflow is strictly beyond the span" invariant holds before
+    /// the next bucket scan.
+    fn migrate_overflow(&mut self) {
+        let limit = self.cursor_tick.saturating_add(SPAN_TICKS);
+        while let Some(head) = self.overflow.peek() {
+            if tick_of(head.at) >= limit {
+                break;
+            }
+            if let Some(entry) = self.overflow.pop() {
+                let tick = tick_of(entry.at);
+                self.bucket_mut(tick).push(entry);
+                self.wheel_len += 1;
+            }
+        }
+    }
+
+    /// The tick of the earliest pending event, scanning wheel buckets
+    /// from the cursor (and falling back to the overflow head when the
+    /// wheel is empty). `None` when nothing is pending.
+    fn next_tick(&self) -> Option<u64> {
+        if self.wheel_len > 0 {
+            for off in 0..SPAN_TICKS {
+                let tick = self.cursor_tick + off;
+                let idx = (tick as usize) & (NUM_BUCKETS - 1);
+                if self.buckets.get(idx).is_some_and(|b| !b.is_empty()) {
+                    return Some(tick);
+                }
+            }
+            // wheel_len > 0 guarantees a hit within the span.
+            debug_assert!(false, "wheel_len > 0 but no non-empty bucket");
+        }
+        self.overflow.peek().map(|e| tick_of(e.at))
+    }
+
+    /// Index of the minimum-`(time, seq)` entry within a bucket.
+    fn min_in_bucket(bucket: &[Entry<E>]) -> Option<usize> {
+        let mut best: Option<(usize, SimTime, u64)> = None;
+        for (i, e) in bucket.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((_, at, seq)) => (e.at, e.seq) < (at, seq),
+            };
+            if better {
+                best = Some((i, e.at, e.seq));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// The current simulation time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — scheduling into
+    /// the past is always a simulator bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let tick = tick_of(at);
+        debug_assert!(tick >= self.cursor_tick);
+        let entry = Entry { at, seq, event };
+        if tick < self.cursor_tick.saturating_add(SPAN_TICKS) {
+            self.bucket_mut(tick).push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(entry);
+        }
+        self.peak = self.peak.max(self.len());
+    }
+
+    /// Pops the earliest event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let target = self.next_tick()?;
+        if target > self.cursor_tick {
+            self.cursor_tick = target;
+            // The span moved forward: pull in any overflow entries that
+            // now fit, so later `schedule`s can't leapfrog them.
+            self.migrate_overflow();
+        } else if self.wheel_len == 0 {
+            // target == cursor_tick with an empty wheel: the head of the
+            // overflow is due in the current tick (only possible right
+            // after construction, before any cursor advance).
+            self.migrate_overflow();
+        }
+        let bucket = self.bucket_mut(target);
+        let idx = Self::min_in_bucket(bucket)?;
+        let entry = bucket.swap_remove(idx);
+        self.wheel_len -= 1;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// The time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let tick = self.next_tick()?;
+        if self.wheel_len > 0 {
+            let idx = (tick as usize) & (NUM_BUCKETS - 1);
+            let bucket = self.buckets.get(idx)?;
+            Self::min_in_bucket(bucket).and_then(|i| bucket.get(i)).map(|e| e.at)
+        } else {
+            self.overflow.peek().map(|e| e.at)
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// High-water mark of pending events over the queue's lifetime.
+    pub fn peak_pending(&self) -> usize {
+        self.peak
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for CalendarQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("now", &self.now)
+            .field("wheel", &self.wheel_len)
+            .field("overflow", &self.overflow.len())
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+impl<E> EventScheduler<E> for CalendarQueue<E> {
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        CalendarQueue::schedule(self, at, event)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        CalendarQueue::is_empty(self)
+    }
+
+    fn processed(&self) -> u64 {
+        CalendarQueue::processed(self)
+    }
+
+    fn peak_pending(&self) -> usize {
+        CalendarQueue::peak_pending(self)
+    }
+}
+
+/// Static dispatch over the two concrete schedulers, so `Network` can
+/// hold either without a trait object in the hot loop.
+pub enum AnyScheduler<E> {
+    /// Binary-heap scheduler.
+    Heap(EventQueue<E>),
+    /// Calendar-queue scheduler.
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> AnyScheduler<E> {
+    /// Creates an empty scheduler of the requested kind at time zero.
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Heap => AnyScheduler::Heap(EventQueue::new()),
+            SchedulerKind::Calendar => AnyScheduler::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// Which implementation this scheduler dispatches to.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            AnyScheduler::Heap(_) => SchedulerKind::Heap,
+            AnyScheduler::Calendar(_) => SchedulerKind::Calendar,
+        }
+    }
+}
+
+impl<E> fmt::Debug for AnyScheduler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyScheduler::Heap(q) => q.fmt(f),
+            AnyScheduler::Calendar(q) => q.fmt(f),
+        }
+    }
+}
+
+impl<E> EventScheduler<E> for AnyScheduler<E> {
+    fn now(&self) -> SimTime {
+        match self {
+            AnyScheduler::Heap(q) => q.now(),
+            AnyScheduler::Calendar(q) => q.now(),
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        match self {
+            AnyScheduler::Heap(q) => q.schedule(at, event),
+            AnyScheduler::Calendar(q) => q.schedule(at, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            AnyScheduler::Heap(q) => q.pop(),
+            AnyScheduler::Calendar(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            AnyScheduler::Heap(q) => q.peek_time(),
+            AnyScheduler::Calendar(q) => q.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyScheduler::Heap(q) => q.len(),
+            AnyScheduler::Calendar(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            AnyScheduler::Heap(q) => q.is_empty(),
+            AnyScheduler::Calendar(q) => q.is_empty(),
+        }
+    }
+
+    fn processed(&self) -> u64 {
+        match self {
+            AnyScheduler::Heap(q) => q.processed(),
+            AnyScheduler::Calendar(q) => q.processed(),
+        }
+    }
+
+    fn peak_pending(&self) -> usize {
+        match self {
+            AnyScheduler::Heap(q) => q.peak_pending(),
+            AnyScheduler::Calendar(q) => q.peak_pending(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::timers;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn at_ns(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    /// The wheel span must cover every per-event protocol timer so the
+    /// overflow heap stays cold on the paper's workloads.
+    #[test]
+    fn wheel_span_covers_the_paper_timers() {
+        let span_ns = (NUM_BUCKETS as u64) << BUCKET_BITS;
+        assert!(span_ns > timers::SPF_INITIAL_DELAY.as_nanos());
+        assert!(span_ns > timers::DETECTION_DELAY.as_nanos());
+        assert!(span_ns > timers::FIB_UPDATE_DELAY.as_nanos());
+        // ...but not the multi-second backoff cap: that is what the
+        // overflow heap is for.
+        assert!(span_ns < timers::SPF_MAX_HOLD.as_nanos());
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(at_ms(30), 3);
+        q.schedule(at_ms(10), 1);
+        q.schedule(at_ms(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_in_scheduling_order() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.schedule(at_ms(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Same-bucket (not just same-instant) events must still order by
+    /// `(time, seq)`: two nanosecond-apart events share a 131 µs bucket.
+    #[test]
+    fn same_bucket_different_times_order_by_time() {
+        let mut q = CalendarQueue::new();
+        q.schedule(at_ns(5), "b");
+        q.schedule(at_ns(3), "a");
+        q.schedule(at_ns(5), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = CalendarQueue::new();
+        q.schedule(at_ms(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(at_ms(7)));
+        q.pop();
+        assert_eq!(q.now(), at_ms(7));
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(at_ms(10), ());
+        q.pop();
+        q.schedule(at_ms(5), ());
+    }
+
+    #[test]
+    fn peak_pending_tracks_the_high_water_mark() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peak_pending(), 0);
+        q.schedule(at_ms(1), 1);
+        q.schedule(at_ms(2), 2);
+        q.schedule(at_ms(3), 3);
+        assert_eq!(q.peak_pending(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(at_ms(4), 4); // back to 2 pending: peak unchanged
+        assert_eq!(q.peak_pending(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    /// Events beyond the ~268 ms wheel span park in the overflow heap and
+    /// migrate into the wheel as the cursor advances — in exact order.
+    #[test]
+    fn overflow_events_migrate_in_order() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the span from t=0: SPF max-hold-scale timers.
+        q.schedule(at_ms(9_000), "hold");
+        q.schedule(at_ms(400), "fail2");
+        q.schedule(at_ms(380), "fail1");
+        q.schedule(at_ms(60), "detect");
+        let mut order = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            order.push((t.as_nanos() / 1_000_000, e));
+        }
+        assert_eq!(
+            order,
+            vec![(60, "detect"), (380, "fail1"), (400, "fail2"), (9_000, "hold")]
+        );
+    }
+
+    /// A handler scheduling between `now` and an event that is still in
+    /// the overflow must not be leapfrogged by the overflow entry.
+    #[test]
+    fn interleaved_schedule_never_leapfrogs_overflow() {
+        let mut q = CalendarQueue::new();
+        q.schedule(at_ms(500), "far");
+        q.schedule(at_ms(1), "near");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        // Cursor advanced; 300ms is within the new span while "far"
+        // migrated out of overflow — both must order correctly.
+        q.schedule(at_ms(300), "mid");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("mid"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = CalendarQueue::new();
+        q.schedule(at_ms(1), "a");
+        q.pop();
+        q.schedule(at_ms(3), "c");
+        q.schedule(at_ms(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn any_scheduler_dispatches_both_kinds() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut q: AnyScheduler<u32> = AnyScheduler::new(kind);
+            assert_eq!(q.kind(), kind);
+            EventScheduler::schedule(&mut q, at_ms(2), 2);
+            EventScheduler::schedule(&mut q, at_ms(1), 1);
+            assert_eq!(EventScheduler::peek_time(&q), Some(at_ms(1)));
+            assert_eq!(EventScheduler::pop(&mut q).map(|(_, e)| e), Some(1));
+            assert_eq!(EventScheduler::pop(&mut q).map(|(_, e)| e), Some(2));
+            assert_eq!(EventScheduler::processed(&q), 2);
+            assert_eq!(EventScheduler::peak_pending(&q), 2);
+        }
+    }
+
+    #[test]
+    fn scheduler_kind_round_trips_through_names() {
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Scheduler-equivalence properties: the calendar queue must reproduce
+//! the binary heap's pop stream exactly.
+//!
+//! This is determinism law 1 from `dcn_sim::sched`: pop order is a pure
+//! function of the `(time, seq)` schedule, so two correct
+//! implementations fed the same schedule must emit identical
+//! `(time, payload)` streams — including ties, overflow-span crossings,
+//! and interleaved schedule/pop patterns.
+
+use dcn_sim::{CalendarQueue, EventQueue, SimDuration};
+use proptest::prelude::*;
+
+/// Mirrors one interleaved workload through both schedulers and asserts
+/// identical pop streams. Each op schedules one event `delta` ns after
+/// the current clock, then pops up to `pops` events.
+fn assert_equivalent(ops: &[(u64, u8)]) {
+    let mut heap = EventQueue::new();
+    let mut cal = CalendarQueue::new();
+    let mut scheduled = 0u64;
+    for (i, &(delta, pops)) in ops.iter().enumerate() {
+        let at = heap.now() + SimDuration::from_nanos(delta);
+        heap.schedule(at, i);
+        cal.schedule(at, i);
+        scheduled += 1;
+        for _ in 0..pops {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b, "pop divergence after op {i}");
+            assert_eq!(heap.now(), cal.now());
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.len(), cal.len());
+        assert_eq!(heap.peek_time(), cal.peek_time());
+    }
+    // Drain: the tails must match too.
+    loop {
+        let a = heap.pop();
+        let b = cal.pop();
+        assert_eq!(a, b, "drain divergence");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(heap.processed(), scheduled);
+    assert_eq!(cal.processed(), scheduled);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dense short-horizon timers (the steady-state workload): every
+    /// event lands well inside the wheel span.
+    #[test]
+    fn dense_schedules_pop_identically(
+        ops in prop::collection::vec((0u64..2_000_000, 0u8..3), 1..200)
+    ) {
+        assert_equivalent(&ops);
+    }
+
+    /// Deltas up to 600 ms force overflow-heap parking and migration
+    /// across the ~268 ms wheel span.
+    #[test]
+    fn span_crossing_schedules_pop_identically(
+        ops in prop::collection::vec((0u64..600_000_000, 0u8..4), 1..100)
+    ) {
+        assert_equivalent(&ops);
+    }
+
+    /// Many events at few distinct instants: tie-order torture. Deltas
+    /// are quantized so most events collide on exact timestamps.
+    #[test]
+    fn tie_heavy_schedules_pop_identically(
+        ops in prop::collection::vec((0u64..4, 0u8..2), 1..200)
+    ) {
+        let quantized: Vec<(u64, u8)> =
+            ops.iter().map(|&(d, p)| (d * 50_000_000, p)).collect();
+        assert_equivalent(&quantized);
+    }
+}
+
+/// A deterministic long-span regression: SPF-backoff-scale timers (past
+/// the wheel span) interleaved with microsecond traffic.
+#[test]
+fn mixed_protocol_timescales_pop_identically() {
+    let ms = 1_000_000u64;
+    let ops: Vec<(u64, u8)> = vec![
+        (10_000 * ms, 0), // SPF max-hold scale: deep overflow
+        (60 * ms, 0),     // detection delay
+        (100, 1),         // immediate traffic
+        (200 * ms, 0),    // SPF initial delay
+        (10 * ms, 2),     // FIB install delay
+        (500 * ms, 1),    // past the span
+        (271 * ms, 3),    // just beyond the span edge
+        (0, 4),           // same-instant tie
+        (268 * ms, 5),    // at the span edge
+    ];
+    assert_equivalent(&ops);
+}

@@ -28,6 +28,12 @@ const BENCH_REQUIRED_FIELDS: &[&str] = &[
     "\"runs\"",
     "\"mean_us\"",
     "\"min_us\"",
+    "\"variants\"",
+    "\"scheduler\"",
+    "\"spf_engine\"",
+    "\"k_sweep\"",
+    "\"full_spf_us\"",
+    "\"incremental_spf_us\"",
     "\"peak_queue_depth\"",
     "\"peak_rss_bytes\"",
 ];
@@ -221,21 +227,33 @@ mod tests {
 
     #[test]
     fn check_bench_accepts_a_complete_report() {
-        let report = "{\n  \"version\": 1,\n  \"experiment\": \"fig4\",\n  \"cells\": 12,\n  \
+        let report = "{\n  \"version\": 2,\n  \"experiment\": \"fig4\",\n  \"cells\": 12,\n  \
              \"events_total\": 100,\n  \"wall_seconds\": 0.5,\n  \"events_per_sec\": 200.0,\n  \
              \"spf\": {\"lsdb_nodes\": 80, \"runs\": 32, \"mean_us\": 10.0, \"min_us\": 8.0},\n  \
+             \"variants\": [{\"scheduler\": \"heap\", \"spf_engine\": \"full\", \
+             \"events_total\": 100, \"wall_seconds\": 0.5, \"events_per_sec\": 200.0}],\n  \
+             \"k_sweep\": [{\"k\": 8, \"switches\": 80, \"runs\": 16, \"full_spf_us\": 50.0, \
+             \"incremental_spf_us\": 5.0}],\n  \
              \"peak_queue_depth\": 7,\n  \"peak_rss_bytes\": null\n}\n";
         assert!(check_bench(report).is_ok());
     }
 
     #[test]
     fn check_bench_rejects_missing_fields_and_bad_json() {
-        let err = check_bench("{\"version\": 1}").unwrap_err();
+        let err = check_bench("{\"version\": 2}").unwrap_err();
         assert!(err.contains("missing required bench field"), "{err}");
         assert!(check_bench("{not json").is_err());
         // A different experiment name is a schema violation too.
-        let err = check_bench("{\"version\": 1, \"experiment\": \"fig7\"}").unwrap_err();
+        let err = check_bench("{\"version\": 2, \"experiment\": \"fig7\"}").unwrap_err();
         assert!(err.contains("\"experiment\": \"fig4\""), "{err}");
+        // A pre-engine-matrix (version 1) report is rejected: the matrix
+        // and the k-sweep are part of the schema now.
+        let v1 = "{\"version\": 1, \"experiment\": \"fig4\", \"cells\": 12, \
+             \"events_total\": 100, \"wall_seconds\": 0.5, \"events_per_sec\": 200.0, \
+             \"spf\": {\"lsdb_nodes\": 80, \"runs\": 32, \"mean_us\": 10.0, \"min_us\": 8.0}, \
+             \"peak_queue_depth\": 7, \"peak_rss_bytes\": null}";
+        let err = check_bench(v1).unwrap_err();
+        assert!(err.contains("variants"), "{err}");
     }
 
     #[test]
