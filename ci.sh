@@ -23,7 +23,11 @@
 # 7. the engine-matrix determinism gate: `repro fig4` replayed under all
 #    four scheduler x SPF-engine combinations must print byte-identical
 #    results (the pluggable hot-loop seams may not change observable
-#    behaviour; see DESIGN.md §10).
+#    behaviour; see DESIGN.md §10),
+# 8. the fast-reroute chaos gate: the same fixed-seed campaign under
+#    `--recovery frr` (single-failure preset, tightened blackhole bound —
+#    detection + FIB update, no SPF terms; see DESIGN.md §11) must report
+#    zero violations and be byte-identical across worker counts.
 set -eu
 
 cd "$(dirname "$0")"
@@ -63,5 +67,13 @@ done
 cmp target/fig4-heap-full.txt target/fig4-heap-incremental.txt
 cmp target/fig4-heap-full.txt target/fig4-calendar-full.txt
 cmp target/fig4-heap-full.txt target/fig4-calendar-incremental.txt
+
+echo "==> repro chaos --recovery frr (tightened-bound gate, worker-invariant)"
+for workers in 1 2; do
+    cargo run -q --release -p f2tree-experiments --bin repro -- \
+        chaos --recovery frr --seed 20150701 --campaigns 20 --workers "$workers" \
+        > "target/chaos-frr-w$workers.txt"
+done
+cmp target/chaos-frr-w1.txt target/chaos-frr-w2.txt
 
 echo "ci.sh: all gates passed"

@@ -35,6 +35,8 @@ pub struct CampaignConfig {
     pub min_outage: SimDuration,
     /// Longest link outage.
     pub max_outage: SimDuration,
+    /// Incident kinds the generator draws from (uniformly).
+    pub kinds: Vec<IncidentKind>,
 }
 
 impl Default for CampaignConfig {
@@ -47,6 +49,29 @@ impl Default for CampaignConfig {
             incident_spacing: timers::SPF_INITIAL_DELAY * 2,
             min_outage: timers::DETECTION_DELAY / 2,
             max_outage: timers::SPF_INITIAL_DELAY * 6,
+            kinds: IncidentKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The single-failure-safe preset the FRR campaigns run under: only
+    /// incident kinds that keep **at most one link down at any instant**
+    /// (a lone outage, or one link flapping), spaced widely enough that
+    /// consecutive incidents can never overlap. The LFA loop-freedom
+    /// guarantee — and therefore the tightened FRR blackhole bound — is a
+    /// single-failure property, so the generator must not manufacture
+    /// multi-failure states the precomputed map never claimed to cover.
+    pub fn single_failure() -> Self {
+        let base = CampaignConfig::default();
+        // Worst-case incident footprint is a flap: up to 4 cycles of
+        // (min_outage + 2×detection) down + (detection + SPF initial) up
+        // ≈ 1.64 s; 9 SPF-initial units (1.8 s) of spacing clears it, and
+        // jitter only pushes incidents further apart.
+        CampaignConfig {
+            incident_spacing: timers::SPF_INITIAL_DELAY * 9,
+            kinds: vec![IncidentKind::SingleLink, IncidentKind::Flap],
+            ..base
         }
     }
 }
@@ -77,7 +102,7 @@ pub fn generate_scenario(
     let mut incidents = Vec::with_capacity(n_incidents);
     let mut cursor = SimTime::ZERO + cfg.first_fail_after;
     for _ in 0..n_incidents {
-        let kind = IncidentKind::ALL[rng.next_below(IncidentKind::ALL.len() as u64) as usize];
+        let kind = cfg.kinds[rng.next_below(cfg.kinds.len() as u64) as usize];
         let events = match kind {
             IncidentKind::SingleLink => single_link(rng, cfg, cursor, &fabric),
             IncidentKind::CorrelatedLinks => correlated_links(rng, cfg, cursor, &fabric),
@@ -229,6 +254,42 @@ mod tests {
             let b = generate_scenario(design, &mut DetRng::seed_from_u64(7), &cfg).unwrap();
             assert_eq!(a, b);
             assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn single_failure_preset_keeps_at_most_one_link_down() {
+        let cfg = CampaignConfig::single_failure();
+        let mut rng = DetRng::seed_from_u64(20150701);
+        for i in 0..30u64 {
+            let design = if i % 2 == 0 {
+                Design::FatTree
+            } else {
+                Design::F2Tree
+            };
+            let spec = generate_scenario(design, &mut rng, &cfg).unwrap();
+            for inc in &spec.incidents {
+                assert!(matches!(
+                    inc.kind,
+                    IncidentKind::SingleLink | IncidentKind::Flap
+                ));
+            }
+            // Sweep the sorted event stream: the set of concurrently-down
+            // links must never exceed one.
+            let mut down = std::collections::BTreeSet::new();
+            for e in spec.schedule().into_sorted().iter() {
+                if e.up {
+                    down.remove(&e.link);
+                } else {
+                    down.insert(e.link);
+                }
+                assert!(
+                    down.len() <= 1,
+                    "{} links down at {} in {spec:?}",
+                    down.len(),
+                    e.at
+                );
+            }
         }
     }
 

@@ -7,8 +7,9 @@
 //! transitions, local failure detection, FIB installations). Between
 //! epochs the forwarding graph is frozen, so nothing is missed.
 
-use dcn_emu::Network;
+use dcn_emu::{EmuConfig, Network};
 use dcn_net::{FlowKey, Layer, NodeId, Protocol};
+use dcn_routing::RecoveryMode;
 use dcn_sim::{timers, SimDuration, SimTime};
 use dcn_sweep::{ExperimentSpec, Workers};
 use f2tree::{Design, TestBed, TestBedError};
@@ -36,6 +37,24 @@ pub const MAX_VIOLATIONS: usize = 16;
 pub struct EngineConfig {
     /// Invariant-oracle tuning.
     pub oracle: OracleConfig,
+    /// Recovery discipline the emulated routers run (default: the
+    /// design's own — F²Tree static backups where applicable).
+    pub recovery: RecoveryMode,
+}
+
+impl EngineConfig {
+    /// An engine configured for `recovery` with the matching oracle: the
+    /// FRR mode arms the tightened (SPF-free) blackhole bound, every
+    /// other mode keeps the reconvergence budget.
+    pub fn for_recovery(recovery: RecoveryMode) -> Self {
+        EngineConfig {
+            oracle: OracleConfig {
+                frr: recovery == RecoveryMode::PrecomputedFrr,
+                ..OracleConfig::default()
+            },
+            recovery,
+        }
+    }
 }
 
 /// Aggregate counters from one scenario run (all simulation-derived, so
@@ -124,7 +143,8 @@ pub fn run_scenario(
     spec: &ScenarioSpec,
     cfg: &EngineConfig,
 ) -> Result<ScenarioOutcome, TestBedError> {
-    let mut bed = TestBed::build(spec.design, spec.k, spec.hosts_per_tor)?;
+    let emu = EmuConfig::builder().recovery(cfg.recovery).build();
+    let mut bed = TestBed::build_with_config(spec.design, spec.k, spec.hosts_per_tor, emu)?;
     let switches: Vec<NodeId> = [Layer::Tor, Layer::Agg, Layer::Core]
         .into_iter()
         .flat_map(|l| bed.topology().layer_switches(l))
@@ -450,6 +470,24 @@ impl Default for ChaosConfig {
     }
 }
 
+impl ChaosConfig {
+    /// A campaign configured end-to-end for `recovery`: the engine builds
+    /// testbeds in that mode with the matching oracle bound, and the FRR
+    /// mode additionally restricts generation to the single-failure-safe
+    /// preset its loop-freedom guarantee is scoped to.
+    pub fn for_recovery(recovery: RecoveryMode) -> Self {
+        ChaosConfig {
+            campaign: if recovery == RecoveryMode::PrecomputedFrr {
+                CampaignConfig::single_failure()
+            } else {
+                CampaignConfig::default()
+            },
+            engine: EngineConfig::for_recovery(recovery),
+            ..ChaosConfig::default()
+        }
+    }
+}
+
 /// One campaign's scenario and verdict.
 #[derive(Clone, Debug)]
 pub struct CampaignResult {
@@ -468,6 +506,8 @@ pub struct CampaignResult {
 pub struct ChaosReport {
     /// Master seed the campaign ran under.
     pub master_seed: u64,
+    /// Recovery discipline every scenario ran with.
+    pub recovery: RecoveryMode,
     /// Per-campaign results, in campaign order.
     pub results: Vec<CampaignResult>,
 }
@@ -488,9 +528,10 @@ impl ChaosReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "chaos campaign: {} scenario(s), master seed {}\n",
+            "chaos campaign: {} scenario(s), master seed {}, recovery {}\n",
             self.results.len(),
-            self.master_seed
+            self.master_seed,
+            self.recovery
         ));
         for r in &self.results {
             let kinds: Vec<String> = r
@@ -543,11 +584,16 @@ fn design_label(design: Design) -> &'static str {
 /// Returns the first [`TestBedError`] any campaign hit (only possible with
 /// an unbuildable `k`/`hosts_per_tor` configuration).
 pub fn run_chaos(cfg: &ChaosConfig, workers: Workers) -> Result<ChaosReport, TestBedError> {
+    // FRR campaigns pin every cell to F²Tree: the across ring is what
+    // gives the failure map its remote-LFA coverage, and the tightened
+    // blackhole bound is only claimed where that coverage exists (plain
+    // fat trees leave agg→ToR downlinks unprotectable by any local FRR).
+    let frr = cfg.engine.recovery == RecoveryMode::PrecomputedFrr;
     let cells: Vec<(usize, Design)> = (0..cfg.campaigns)
         .map(|i| {
             (
                 i,
-                if i % 2 == 0 {
+                if !frr && i % 2 == 0 {
                     Design::FatTree
                 } else {
                     Design::F2Tree
@@ -575,6 +621,7 @@ pub fn run_chaos(cfg: &ChaosConfig, workers: Workers) -> Result<ChaosReport, Tes
     });
     Ok(ChaosReport {
         master_seed: cfg.master_seed,
+        recovery: cfg.engine.recovery,
         results: results.into_iter().collect::<Result<Vec<_>, _>>()?,
     })
 }

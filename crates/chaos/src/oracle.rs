@@ -43,6 +43,13 @@ pub struct OracleConfig {
     /// of window sampling. Defaults to one detection delay, the largest
     /// non-SPF term in the budget.
     pub slack: SimDuration,
+    /// The network under test runs precomputed fast-reroute
+    /// ([`dcn_routing::RecoveryMode::PrecomputedFrr`]): repair routes are
+    /// installed straight off detection, so the blackhole budget drops the
+    /// SPF scheduling and throttle-hold terms entirely — the per-event
+    /// cost is detection + FIB update, nothing else. This is the
+    /// tightened bound the FRR campaigns exist to enforce.
+    pub frr: bool,
     /// Replaces the computed per-window blackhole bound outright. Only
     /// used by tests that need a deliberately broken oracle to prove the
     /// shrinker finds a minimal reproducer.
@@ -53,6 +60,7 @@ impl Default for OracleConfig {
     fn default() -> Self {
         OracleConfig {
             slack: timers::DETECTION_DELAY,
+            frr: false,
             bound_override: None,
         }
     }
@@ -263,12 +271,21 @@ pub fn flood_graph_connected(net: &Network, switches: &[NodeId]) -> bool {
 /// hold, not the 200 ms initial value — and one FIB-update delay before
 /// new routes take effect. Flood propagation and event-sampling
 /// granularity are covered by `slack`.
+///
+/// Under [`OracleConfig::frr`] the SPF terms vanish: the repair route was
+/// precomputed, so per event the flow waits only for detection plus one
+/// FIB update — `slack + n_events × (detection + fib_update)` — no matter
+/// how long the throttled SPF is held.
 pub fn blackhole_bound(cfg: &OracleConfig, n_events: u64, max_hold: SimDuration) -> SimDuration {
     if let Some(bound) = cfg.bound_override {
         return bound;
     }
-    let per_event = timers::DETECTION_DELAY + max_hold.max(timers::SPF_INITIAL_DELAY)
-        + timers::FIB_UPDATE_DELAY;
+    let per_event = if cfg.frr {
+        timers::DETECTION_DELAY + timers::FIB_UPDATE_DELAY
+    } else {
+        timers::DETECTION_DELAY + max_hold.max(timers::SPF_INITIAL_DELAY)
+            + timers::FIB_UPDATE_DELAY
+    };
     cfg.slack + per_event * n_events.max(1)
 }
 
@@ -347,6 +364,20 @@ mod tests {
         let held = blackhole_bound(&cfg, 1, SimDuration::from_millis(800));
         assert_eq!(held.as_millis(), 930);
         // Zero events is clamped to one.
+        assert_eq!(blackhole_bound(&cfg, 0, SimDuration::ZERO), one);
+    }
+
+    #[test]
+    fn frr_bound_drops_the_spf_terms() {
+        let cfg = OracleConfig {
+            frr: true,
+            ..OracleConfig::default()
+        };
+        // slack (60ms) + detection (60ms) + FIB (10ms): no SPF delay, and
+        // an arbitrarily long observed throttle hold must not widen it.
+        let one = blackhole_bound(&cfg, 1, timers::SPF_MAX_HOLD);
+        assert_eq!(one.as_millis(), 130);
+        assert_eq!(blackhole_bound(&cfg, 2, SimDuration::ZERO).as_millis(), 200);
         assert_eq!(blackhole_bound(&cfg, 0, SimDuration::ZERO), one);
     }
 

@@ -12,6 +12,7 @@ use dcn_chaos::{
 };
 use dcn_failure::FailureEvent;
 use dcn_net::Layer;
+use dcn_routing::RecoveryMode;
 use dcn_sim::{SimDuration, SimTime};
 use dcn_sweep::Workers;
 use f2tree::{Design, TestBed};
@@ -117,6 +118,7 @@ fn broken_oracle_fixture_shrinks_to_minimal_reproducer() {
             bound_override: Some(SimDuration::ZERO),
             ..OracleConfig::default()
         },
+        ..EngineConfig::default()
     };
 
     let outcome = run_scenario(&spec, &broken).expect("scenario runs");
@@ -190,6 +192,83 @@ fn physical_partition_windows_are_excused_not_violations() {
         outcome.violations
     );
     assert!(outcome.stats.excused_windows > 0, "{:?}", outcome.stats);
+}
+
+/// A single agg→ToR downlink failure on a monitored F²Tree path — the
+/// paper's C1 condition, and the class no plain-fat-tree local FRR can
+/// cover — must recover inside the tightened (SPF-free) FRR budget:
+/// detection + one FIB update, with the oracle's fixed slack on top.
+#[test]
+fn frr_recovers_a_single_link_within_the_tightened_bound() {
+    let bed = TestBed::build(Design::F2Tree, 4, 1).expect("testbed builds");
+    let pairs = dcn_chaos::monitor_endpoints(&bed.net);
+    let (src, dst) = pairs[0];
+    let key = bed
+        .net
+        .flow_key_with_port(src, dst, dcn_chaos::MONITOR_SPORTS[0], dcn_net::Protocol::Udp);
+    let path = bed.net.trace(key, src, dst);
+    let topo = bed.topology();
+    let n = path.len();
+    let culprit = topo
+        .link_between(path[n - 3], path[n - 2])
+        .expect("path hop is a link");
+    let ms = |v: u64| SimTime::ZERO + SimDuration::from_millis(v);
+    let spec = ScenarioSpec {
+        design: Design::F2Tree,
+        k: 4,
+        hosts_per_tor: 1,
+        incidents: vec![Incident {
+            kind: IncidentKind::SingleLink,
+            events: vec![
+                FailureEvent {
+                    at: ms(100),
+                    link: culprit,
+                    up: false,
+                },
+                FailureEvent {
+                    at: ms(700),
+                    link: culprit,
+                    up: true,
+                },
+            ],
+        }],
+    };
+    let frr = EngineConfig::for_recovery(RecoveryMode::PrecomputedFrr);
+    let outcome = run_scenario(&spec, &frr).expect("scenario runs");
+    assert!(
+        outcome.violations.is_empty(),
+        "FRR repair must satisfy the tightened bound: {:?}",
+        outcome.violations
+    );
+    assert!(outcome.stats.broken_windows > 0, "{:?}", outcome.stats);
+    assert!(
+        outcome.stats.max_window <= SimDuration::from_millis(130),
+        "window {} exceeds the FRR budget",
+        outcome.stats.max_window
+    );
+}
+
+/// The ci.sh gate-8 smoke in-repo: a fixed-seed 20-campaign FRR run is
+/// violation-free, pins every cell to F²Tree, and renders byte-identically
+/// at different worker counts.
+#[test]
+fn frr_campaign_smoke_is_clean_and_worker_invariant() {
+    let cfg = ChaosConfig {
+        campaigns: 20,
+        ..ChaosConfig::for_recovery(RecoveryMode::PrecomputedFrr)
+    };
+    let serial = run_chaos(&cfg, Workers::new(1)).expect("campaign builds");
+    let parallel = run_chaos(&cfg, Workers::new(2)).expect("campaign builds");
+    let text = serial.render();
+    assert_eq!(text, parallel.render(), "worker count changed output");
+    assert_eq!(serial.total_violations(), 0, "oracle violations:\n{text}");
+    assert!(serial.results.iter().all(|r| r.design == Design::F2Tree));
+    let windows: u64 = serial
+        .results
+        .iter()
+        .map(|r| r.outcome.stats.broken_windows)
+        .sum();
+    assert!(windows > 0, "no scenario ever broke connectivity");
 }
 
 /// Sanity: scenario generation never emits a link outside the topology it

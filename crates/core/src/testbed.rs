@@ -7,6 +7,7 @@
 
 use dcn_emu::{EmuConfig, FlowId, Network};
 use dcn_failure::{condition_links, Condition, ScenarioContext};
+use dcn_routing::RecoveryMode;
 use dcn_net::{AddressingError, FatTree, Layer, LinkId, NodeId, PodRing, Topology, TopologyError};
 use serde::{Deserialize, Serialize};
 
@@ -127,7 +128,16 @@ impl TestBed {
             }
             Design::F2Tree => {
                 let f2 = F2TreeNetwork::build_with_hosts(k, hosts_per_tor)?;
-                let backups = network_backup_routes(&f2);
+                // The design's static backup routes embody the
+                // F²TreeRewiring recovery mode; the other modes run the
+                // rewired fabric bare (OSPF-only, or with the FRR map
+                // the emulator precomputes — which uses the across ring
+                // as remote-LFA relays instead).
+                let backups = if config.recovery() == RecoveryMode::F2TreeRewiring {
+                    network_backup_routes(&f2)
+                } else {
+                    Vec::new()
+                };
                 let agg_rings = f2.agg_rings.clone();
                 let core_rings = f2.core_rings.clone();
                 let mut net = Network::new(f2.topology, config)?;

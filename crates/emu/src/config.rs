@@ -1,6 +1,6 @@
 //! Emulation parameters (paper §IV "Emulation environment").
 
-use dcn_routing::{RouterConfig, SpfEngineKind};
+use dcn_routing::{RecoveryMode, RouterConfig, SpfEngineKind};
 use dcn_sim::{timers, LinkSpec, SchedulerKind, SimDuration};
 use dcn_transport::TcpConfig;
 
@@ -175,6 +175,11 @@ impl EmuConfig {
     pub fn scheduler(&self) -> SchedulerKind {
         self.scheduler
     }
+
+    /// Which recovery discipline bridges detection and reconvergence.
+    pub fn recovery(&self) -> RecoveryMode {
+        self.router.recovery
+    }
 }
 
 /// Typed builder for [`EmuConfig`]; every setter overrides one paper
@@ -266,6 +271,14 @@ impl EmuConfigBuilder {
         self
     }
 
+    /// Selects the recovery discipline: wait for OSPF, the design's
+    /// static backups (default), or the precomputed fast-reroute map
+    /// (which [`crate::Network::new`] builds and installs per router).
+    pub fn recovery(mut self, mode: RecoveryMode) -> Self {
+        self.config.router.recovery = mode;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> EmuConfig {
         self.config
@@ -320,5 +333,16 @@ mod tests {
         let c = EmuConfig::default();
         assert_eq!(c.scheduler(), SchedulerKind::Heap);
         assert_eq!(c.router().spf_engine, SpfEngineKind::Full);
+        assert_eq!(c.recovery(), RecoveryMode::F2TreeRewiring);
+    }
+
+    #[test]
+    fn recovery_setter_reaches_the_router_config() {
+        let c = EmuConfig::builder()
+            .recovery(RecoveryMode::PrecomputedFrr)
+            .build();
+        assert_eq!(c.recovery(), RecoveryMode::PrecomputedFrr);
+        assert_eq!(c.router().recovery, RecoveryMode::PrecomputedFrr);
+        assert_ne!(c, EmuConfig::default());
     }
 }

@@ -8,14 +8,17 @@
 //! packet crosses real links, every switch does a real FIB lookup, and the
 //! control plane floods real LSA packets.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use dcn_failure::FailureSchedule;
 use dcn_metrics::{CompletionStats, ConnectivityTracker, DelaySeries};
 use dcn_net::{
-    assign_addresses, AddressPlan, AddressingError, FlowKey, Layer, LinkId, NodeId,
+    assign_addresses, AddressPlan, AddressingError, FlowKey, Layer, LinkClass, LinkId, NodeId,
     NodeKind, Prefix, Protocol, Topology,
 };
 use dcn_routing::{
-    Adjacency, FibDelta, Lsa, Lsdb, NextHop, Route, RouteOrigin, RouterAction, RouterProcess,
+    Adjacency, FibDelta, Lsa, Lsdb, NextHop, RecoveryMode, Route, RouteOrigin, RouterAction,
+    RouterProcess,
 };
 use dcn_sim::{
     AnyScheduler, Direction, EventScheduler, LinkState, Packet, SimTime, TransmitVerdict,
@@ -277,6 +280,32 @@ impl Network {
             .collect();
         for router in routers.iter_mut().flatten() {
             router.bootstrap(lsas.clone());
+        }
+
+        // Precomputed fast-reroute: build the per-link failure map from
+        // the converged topology and hand each switch its repair plan
+        // (across links stay OSPF-passive but serve as remote-LFA
+        // relays — the F²Tree rewiring doing double duty).
+        if config.recovery() == RecoveryMode::PrecomputedFrr {
+            let passive: BTreeSet<LinkId> = if config.across_links_passive {
+                topo.links()
+                    .filter(|l| l.class() == LinkClass::Across)
+                    .map(|l| l.id())
+                    .collect()
+            } else {
+                BTreeSet::new()
+            };
+            let origins: BTreeMap<NodeId, Vec<Prefix>> = topo
+                .layer_switches(Layer::Tor)
+                .map(|tor| (tor, plan.subnet_of(tor).into_iter().collect()))
+                .collect();
+            let map = dcn_frr::compute_failure_map(&topo, &passive, &origins);
+            for (node, frr_plan) in map.into_plans() {
+                // The map only covers switches, which all run routers.
+                if let Some(router) = routers.get_mut(node.index()).and_then(Option::as_mut) {
+                    router.set_frr_plan(frr_plan);
+                }
+            }
         }
 
         Ok(Network {

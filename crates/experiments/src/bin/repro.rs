@@ -1,13 +1,7 @@
 //! Regenerates every table and figure of the paper at paper scale.
 //!
-//! ```text
-//! repro [--quick] [--out DIR] [--workers N]
-//!       [--scheduler heap|calendar] [--spf full|incremental]
-//!       [table1|table2|table3|table4|fig4|fig5|fig6|fig7|
-//!        c7x|ablation|centralized|unidirectional|all]
-//! repro chaos [--seed N] [--campaigns M] [--workers W] [--out DIR]
-//! repro bench-fig4 [--quick] [--out DIR] [--scheduler K] [--spf E]
-//! ```
+//! See [`USAGE`] (also `repro --help`) for the complete CLI: targets,
+//! flags, and every accepted flag value.
 //!
 //! With no target, everything runs. `--quick` shrinks the Fig. 6
 //! workload 10x; `--out DIR` additionally writes CSV artifacts;
@@ -19,13 +13,17 @@
 //! implementations the condition sweeps (fig4/fig5) run under. The
 //! determinism law (DESIGN.md) makes every combination's output
 //! byte-identical — CI's engine-matrix gate replays fig4 under all four
-//! and compares.
+//! and compares. `--recovery` selects the recovery discipline; unlike
+//! the engine seams it **changes the numbers** (it is the independent
+//! variable of the `recovery` comparison target).
 //!
 //! `repro chaos` runs a deterministic failure-injection campaign under
 //! the `dcn-chaos` invariant oracles instead of the paper artifacts:
 //! `--campaigns M` scenarios (default 200) are generated from `--seed N`
 //! (default 20150701), alternating designs, and run on the sweep worker
-//! pool. Exit status 0 means every invariant held; on a violation the
+//! pool. With `--recovery frr` every cell runs F²Tree with the
+//! precomputed fast-reroute map under the tightened (SPF-free) blackhole
+//! bound. Exit status 0 means every invariant held; on a violation the
 //! offending scenario is shrunk to a minimal reproducer, printed (and
 //! written to `--out DIR` as a replayable `.scenario` file), and the exit
 //! status is 1.
@@ -42,7 +40,7 @@ use std::path::{Path, PathBuf};
 use dcn_chaos::{run_chaos, run_scenario, shrink_scenario, ChaosConfig};
 
 use dcn_failure::Condition;
-use dcn_routing::SpfEngineKind;
+use dcn_routing::{RecoveryMode, SpfEngineKind};
 use dcn_sim::SchedulerKind;
 use dcn_sweep::Workers;
 use f2tree_experiments::artifacts;
@@ -57,6 +55,7 @@ use f2tree_experiments::extensions::{
 };
 use f2tree_experiments::fig7::{format_fig7, run_fig7_sweep, Fig7Config};
 use f2tree_experiments::plot::{sparkline, sparkline_values};
+use f2tree_experiments::recovery::{format_recovery, frr_wins, run_recovery_sweep};
 use f2tree_experiments::summary::{format_summary, run_summary};
 use f2tree_experiments::table1::{format_table1, run_table1};
 use f2tree_experiments::table2::{format_table2, run_table2};
@@ -66,8 +65,53 @@ use f2tree_experiments::workload::{
 };
 use f2tree_experiments::Design;
 
+/// The `--help` text: every target, every flag, every accepted value.
+const USAGE: &str = "\
+repro — regenerate the paper's tables and figures
+
+usage:
+  repro [FLAGS] [TARGET ...]
+  repro chaos [--seed N] [--campaigns M] [--recovery MODE] [--workers W] [--out DIR]
+  repro bench-fig4 [--quick] [--out DIR] [--scheduler K] [--spf E]
+
+targets (default: everything except fig6seeds):
+  table1 table2 table3 table4   paper tables (fig2 = alias of table3)
+  fig4 fig5 fig6 fig7           paper figures
+  recovery                      three-mode recovery comparison
+                                (ospf vs f2tree vs frr on C1-C7)
+  bisection aspen c7x ablation centralized summary unidirectional
+                                beyond-paper extensions
+  fig6seeds                     opt-in: 20-seed Fig. 6 workload stats
+  chaos                         invariant-oracle failure campaigns
+  bench-fig4                    hot-path wall-clock benchmark
+  all                           everything except fig6seeds
+
+flags:
+  --quick                shrink fig6 workload 10x / bench horizon 5x
+  --out DIR              also write CSV/JSON artifacts into DIR
+  --workers N            sweep worker count (positive integer;
+                         output is byte-identical for every N)
+  --scheduler VALUE      event scheduler: heap | calendar
+  --spf VALUE            SPF engine: full | incremental (alias: ispf)
+  --recovery VALUE       recovery mode: ospf | f2tree | frr (alias: lfa)
+  --seed N               chaos: master seed (default 20150701)
+  --campaigns M          chaos: scenario count (default 200)
+  -h, --help             this text
+";
+
+/// Every recognized target word.
+const TARGETS: &[&str] = &[
+    "table1", "table2", "table3", "fig2", "table4", "fig4", "fig5", "fig6", "fig6seeds", "fig7",
+    "recovery", "bisection", "aspen", "c7x", "ablation", "centralized", "summary",
+    "unidirectional", "chaos", "bench-fig4", "all",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_dir: Option<PathBuf> = args
         .iter()
@@ -77,29 +121,38 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
-    let workers: Workers = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        // CLI flag validation: exiting with a message is the intent.
-        .map(|v| Workers::parse(v).expect("--workers takes a positive integer")) // lint:allow(panic-safety)
-        .unwrap_or_else(Workers::auto);
-    let scheduler = args
-        .iter()
-        .position(|a| a == "--scheduler")
-        .and_then(|i| args.get(i + 1))
-        // CLI flag validation: exiting with a message is the intent.
-        .map(|v| SchedulerKind::parse(v).expect("--scheduler takes heap|calendar")) // lint:allow(panic-safety)
-        .unwrap_or_default();
-    let spf_engine = args
-        .iter()
-        .position(|a| a == "--spf")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| SpfEngineKind::parse(v).expect("--spf takes full|incremental")) // lint:allow(panic-safety)
-        .unwrap_or_default();
+    let workers: Workers = match flag_value(&args, "--workers") {
+        None => Workers::auto(),
+        Some(v) => Workers::parse(v).unwrap_or_else(|| {
+            eprintln!("error: --workers takes a positive integer, got '{v}'");
+            std::process::exit(2);
+        }),
+    };
+    let scheduler = parse_choice(
+        &args,
+        "--scheduler",
+        &["heap", "calendar"],
+        SchedulerKind::parse,
+    )
+    .unwrap_or_default();
+    let spf_engine = parse_choice(
+        &args,
+        "--spf",
+        &["full", "incremental", "ispf"],
+        SpfEngineKind::parse,
+    )
+    .unwrap_or_default();
+    let recovery = parse_choice(
+        &args,
+        "--recovery",
+        &["ospf", "f2tree", "frr", "lfa"],
+        RecoveryMode::parse,
+    )
+    .unwrap_or_default();
     let condition_cfg = ConditionConfig {
         scheduler,
         spf_engine,
+        recovery,
         ..ConditionConfig::default()
     };
     let mut skip_next = false;
@@ -116,6 +169,7 @@ fn main() {
                 || *a == "--campaigns"
                 || *a == "--scheduler"
                 || *a == "--spf"
+                || *a == "--recovery"
             {
                 skip_next = true;
                 return false;
@@ -125,8 +179,19 @@ fn main() {
         .map(String::as_str)
         .collect();
 
+    for target in &targets {
+        if !TARGETS.contains(target) {
+            eprint!("error: unknown target '{target}'");
+            match did_you_mean(target, TARGETS) {
+                Some(hint) => eprintln!("; did you mean '{hint}'?"),
+                None => eprintln!(" (run with --help for the list)"),
+            }
+            std::process::exit(2);
+        }
+    }
+
     if targets.contains(&"chaos") {
-        run_chaos_cli(&args, workers, out_dir.as_deref());
+        run_chaos_cli(&args, recovery, workers, out_dir.as_deref());
         return;
     }
     if targets.contains(&"bench-fig4") {
@@ -200,6 +265,14 @@ fn main() {
         if let Some(dir) = &out_dir {
             artifacts::export_fig5(dir, &results).expect("write fig5 csv");
         }
+    }
+    if want("recovery") {
+        let results = run_recovery_sweep(&condition_cfg, workers);
+        println!("{}", format_recovery(&results));
+        println!(
+            "frr beats ospf on: {}\n",
+            frr_wins(&results).join(" ")
+        );
     }
     if want("fig6") {
         let cfg = if quick {
@@ -294,10 +367,71 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
         .and_then(|v| v.parse().ok())
 }
 
+/// The value following `flag`, if the flag is present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses an enumerated flag value, exiting with the accepted list and a
+/// did-you-mean hint on anything unknown.
+fn parse_choice<T>(
+    args: &[String],
+    flag: &str,
+    accepted: &[&str],
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    let value = flag_value(args, flag)?;
+    match parse(value) {
+        Some(parsed) => Some(parsed),
+        None => {
+            eprint!(
+                "error: {flag}: unknown value '{value}' (accepted: {})",
+                accepted.join(", ")
+            );
+            match did_you_mean(value, accepted) {
+                Some(hint) => eprintln!("; did you mean '{hint}'?"),
+                None => eprintln!(),
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The closest candidate within edit distance 2, for typo hints.
+fn did_you_mean<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|c| (levenshtein(input, c), *c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+/// Classic two-row Levenshtein edit distance.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let b_chars: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b_chars.len()).collect();
+    let mut current = vec![0usize; b_chars.len() + 1];
+    // Both rows are sized b_chars.len()+1, and every index below is in
+    // 0..=b_chars.len() by the loop bounds.
+    for (i, ca) in a.chars().enumerate() {
+        current[0] = i + 1; // lint:allow(panic-indexing) row is non-empty
+        for (j, &cb) in b_chars.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb); // lint:allow(panic-indexing) j < len
+            current[j + 1] = substitution.min(prev[j + 1] + 1).min(current[j] + 1); // lint:allow(panic-indexing) j+1 <= len
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b_chars.len()] // lint:allow(panic-indexing) rows have len+1 slots
+}
+
 /// The `repro chaos` subcommand: seeded invariant-oracle campaigns with
 /// minimal-reproducer shrinking on failure.
-fn run_chaos_cli(args: &[String], workers: Workers, out_dir: Option<&Path>) {
-    let mut cfg = ChaosConfig::default();
+fn run_chaos_cli(args: &[String], recovery: RecoveryMode, workers: Workers, out_dir: Option<&Path>) {
+    let mut cfg = ChaosConfig::for_recovery(recovery);
     if let Some(seed) = parse_flag(args, "--seed") {
         cfg.master_seed = seed;
     }

@@ -9,7 +9,7 @@
 use dcn_emu::EmuConfig;
 use dcn_failure::Condition;
 use dcn_metrics::ThroughputSeries;
-use dcn_routing::SpfEngineKind;
+use dcn_routing::{RecoveryMode, SpfEngineKind};
 use dcn_sim::{SchedulerKind, SimDuration, SimTime};
 use dcn_sweep::{ExperimentSpec, Workers};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,10 @@ pub struct ConditionConfig {
     pub scheduler: SchedulerKind,
     /// SPF engine every router runs (same determinism law).
     pub spf_engine: SpfEngineKind,
+    /// Recovery discipline bridging detection and reconvergence (unlike
+    /// the two seams above, this one **changes the numbers** — it is the
+    /// paper's independent variable).
+    pub recovery: RecoveryMode,
 }
 
 impl Default for ConditionConfig {
@@ -51,6 +55,7 @@ impl Default for ConditionConfig {
             delay_window_ms: 10, // lint:allow(timer-provenance)
             scheduler: SchedulerKind::default(),
             spf_engine: SpfEngineKind::default(),
+            recovery: RecoveryMode::default(),
         }
     }
 }
@@ -62,6 +67,7 @@ impl ConditionConfig {
         EmuConfig::builder()
             .scheduler(self.scheduler)
             .spf_engine(self.spf_engine)
+            .recovery(self.recovery)
             .build()
     }
 }

@@ -13,6 +13,7 @@
 //! | Fig. 6 | [`workload`] | [`workload::run_fig6`] |
 //! | Fig. 7 | [`fig7`] | [`fig7::run_fig7`] |
 //! | Fig. 4 bench | [`bench`] | [`bench::run_bench_fig4`] |
+//! | Recovery modes (ospf/f2tree/frr) | [`recovery`] | [`recovery::run_recovery`] |
 //!
 //! The `repro` binary runs everything at paper scale and prints each
 //! table; `EXPERIMENTS.md` records paper-vs-measured values.
@@ -36,6 +37,7 @@ pub mod common;
 pub mod conditions;
 pub mod extensions;
 pub mod plot;
+pub mod recovery;
 pub mod summary;
 pub mod fig7;
 pub mod table1;

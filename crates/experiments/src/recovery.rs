@@ -1,0 +1,164 @@
+//! Three-mode recovery comparison: plain OSPF reconvergence vs the
+//! paper's F²Tree static rewiring vs the precomputed fast-reroute map,
+//! all on the **same** rewired k=8 testbed and the same Fig. 4 failure
+//! conditions.
+//!
+//! Holding the topology fixed isolates the recovery discipline as the
+//! only independent variable: `ospf` ignores both the static backups and
+//! the FRR map (the across links sit idle), `f2tree` installs the
+//! design's static backup routes, and `frr` installs per-link repair
+//! plans that use the across ring as remote-LFA relays. Expected shape:
+//! OSPF pays detection + SPF scheduling + FIB update (~270 ms), F²Tree
+//! pays detection only (~60 ms), FRR pays detection + FIB update
+//! (~70 ms) — and C7, which severs the repair paths themselves, degrades
+//! every mode to OSPF reconvergence.
+
+use dcn_failure::Condition;
+use dcn_routing::RecoveryMode;
+use dcn_sweep::{ExperimentSpec, Workers};
+use serde::{Deserialize, Serialize};
+
+use crate::common::Design;
+use crate::conditions::{run_condition, ConditionConfig, ConditionResult};
+
+/// One (recovery mode, condition) cell's measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryResult {
+    /// Recovery discipline the cell ran under.
+    pub recovery: RecoveryMode,
+    /// The underlying Fig. 4 measurement.
+    pub result: ConditionResult,
+}
+
+/// The comparison grid: every recovery mode (baseline `ospf` first) ×
+/// every condition C1–C7, on the F²Tree design.
+pub fn recovery_cells() -> Vec<(RecoveryMode, Condition)> {
+    RecoveryMode::ALL
+        .into_iter()
+        .flat_map(|mode| Condition::ALL.into_iter().map(move |c| (mode, c)))
+        .collect()
+}
+
+/// Runs the three-mode comparison on [`Workers::auto`].
+pub fn run_recovery(config: &ConditionConfig) -> Vec<RecoveryResult> {
+    run_recovery_sweep(config, Workers::auto())
+}
+
+/// Runs the comparison on an explicit worker count via the sweep engine;
+/// output is byte-identical for every `workers` value.
+pub fn run_recovery_sweep(config: &ConditionConfig, workers: Workers) -> Vec<RecoveryResult> {
+    ExperimentSpec::new("recovery")
+        .cells(recovery_cells())
+        .workers(workers)
+        .build()
+        .run(|ctx| {
+            let (recovery, condition) = *ctx.cell();
+            let cell_config = ConditionConfig {
+                recovery,
+                ..*config
+            };
+            let result = run_condition(Design::F2Tree, condition, &cell_config);
+            RecoveryResult { recovery, result }
+        })
+}
+
+/// Renders the comparison as one row per condition with the three modes
+/// side by side (the golden-fixture format).
+pub fn format_recovery(results: &[RecoveryResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Recovery-mode comparison on the rewired k=8 DCN (C1-C7)\n\
+         loss = connectivity-loss duration in us; '-' = no loss observed\n\
+         cond |  ospf loss | f2tree loss |   frr loss | ospf pkts | f2tree pkts | frr pkts\n\
+         -----+------------+-------------+------------+-----------+-------------+---------\n",
+    );
+    for condition in Condition::ALL {
+        let cell = |mode: RecoveryMode| {
+            results
+                .iter()
+                .find(|r| r.recovery == mode && r.result.condition == condition.to_string())
+        };
+        let loss = |mode| {
+            cell(mode).map_or("?".into(), |r| {
+                r.result
+                    .connectivity_loss_us
+                    .map_or("-".into(), |v| v.to_string())
+            })
+        };
+        let pkts = |mode| cell(mode).map_or("?".into(), |r| r.result.packets_lost.to_string());
+        out.push_str(&format!(
+            "{:<4} | {:>10} | {:>11} | {:>10} | {:>9} | {:>11} | {:>8}\n",
+            condition.to_string(),
+            loss(RecoveryMode::OspfReconvergence),
+            loss(RecoveryMode::F2TreeRewiring),
+            loss(RecoveryMode::PrecomputedFrr),
+            pkts(RecoveryMode::OspfReconvergence),
+            pkts(RecoveryMode::F2TreeRewiring),
+            pkts(RecoveryMode::PrecomputedFrr),
+        ));
+    }
+    out
+}
+
+/// The conditions on which FRR's loss window is strictly smaller than
+/// OSPF's (the PR's acceptance criterion expects all of C1–C6; C7 severs
+/// the repair paths and legitimately degrades to reconvergence).
+pub fn frr_wins(results: &[RecoveryResult]) -> Vec<String> {
+    let loss = |mode: RecoveryMode, cond: &str| {
+        results
+            .iter()
+            .find(|r| r.recovery == mode && r.result.condition == cond)
+            .and_then(|r| r.result.connectivity_loss_us)
+    };
+    Condition::ALL
+        .into_iter()
+        .map(|c| c.to_string())
+        .filter(|c| {
+            matches!(
+                (
+                    loss(RecoveryMode::PrecomputedFrr, c),
+                    loss(RecoveryMode::OspfReconvergence, c),
+                ),
+                (Some(frr), Some(ospf)) if frr < ospf
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_modes_times_conditions_baseline_first() {
+        let cells = recovery_cells();
+        assert_eq!(cells.len(), 3 * 7);
+        assert_eq!(cells[0].0, RecoveryMode::OspfReconvergence);
+        assert_eq!(cells[7].0, RecoveryMode::F2TreeRewiring);
+        assert_eq!(cells[14].0, RecoveryMode::PrecomputedFrr);
+    }
+
+    #[test]
+    fn three_modes_order_as_the_paper_predicts_on_c1() {
+        let config = ConditionConfig::default();
+        let loss = |recovery| {
+            run_condition(
+                Design::F2Tree,
+                Condition::C1,
+                &ConditionConfig { recovery, ..config },
+            )
+            .connectivity_loss_us
+            .expect("probe recovers")
+        };
+        let ospf = loss(RecoveryMode::OspfReconvergence);
+        let f2 = loss(RecoveryMode::F2TreeRewiring);
+        let frr = loss(RecoveryMode::PrecomputedFrr);
+        // F²Tree (detection only) ≤ FRR (detection + FIB update) « OSPF
+        // (detection + SPF schedule + FIB update).
+        assert!(f2 <= frr, "f2 {f2}us vs frr {frr}us");
+        assert!(frr < ospf, "frr {frr}us vs ospf {ospf}us");
+        assert!((58_000..=65_000).contains(&f2), "f2 {f2}us");
+        assert!((65_000..=80_000).contains(&frr), "frr {frr}us");
+        assert!((260_000..=310_000).contains(&ospf), "ospf {ospf}us");
+    }
+}

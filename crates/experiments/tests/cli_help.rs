@@ -1,0 +1,88 @@
+//! CLI contract tests for the `repro` binary (ISSUE 8 satellite): the
+//! `--help` text documents every engine/recovery flag's accepted values,
+//! and unknown flag values or targets are rejected with a did-you-mean
+//! hint instead of a panic.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn help_documents_every_flag_and_its_accepted_values() {
+    for flag in ["--help", "-h"] {
+        let out = repro(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let text = String::from_utf8(out.stdout).expect("utf8 help");
+        for needle in [
+            "--scheduler",
+            "heap | calendar",
+            "--spf",
+            "full | incremental (alias: ispf)",
+            "--recovery",
+            "ospf | f2tree | frr (alias: lfa)",
+            "--workers",
+            "--seed",
+            "--campaigns",
+            "recovery",
+            "chaos",
+            "bench-fig4",
+        ] {
+            assert!(text.contains(needle), "help is missing {needle:?}:\n{text}");
+        }
+    }
+}
+
+#[test]
+fn bad_scheduler_value_gets_a_did_you_mean_hint() {
+    let out = repro(&["fig4", "--scheduler", "calender"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(err.contains("--scheduler"), "{err}");
+    assert!(err.contains("accepted: heap, calendar"), "{err}");
+    assert!(err.contains("did you mean 'calendar'?"), "{err}");
+}
+
+#[test]
+fn bad_spf_and_recovery_values_are_rejected() {
+    let out = repro(&["fig4", "--spf", "incrmental"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(err.contains("did you mean 'incremental'?"), "{err}");
+
+    let out = repro(&["recovery", "--recovery", "frrr"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(err.contains("accepted: ospf, f2tree, frr, lfa"), "{err}");
+    assert!(err.contains("did you mean 'frr'?"), "{err}");
+}
+
+#[test]
+fn unknown_target_gets_a_did_you_mean_hint() {
+    let out = repro(&["fig44"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(err.contains("unknown target 'fig44'"), "{err}");
+    assert!(err.contains("did you mean 'fig4'?"), "{err}");
+}
+
+#[test]
+fn hopeless_typo_points_at_help_instead_of_guessing() {
+    let out = repro(&["qqqqqqq"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(err.contains("run with --help"), "{err}");
+}
+
+#[test]
+fn recovery_alias_lfa_is_accepted_on_a_cheap_target() {
+    // table4 is a pure rendering: accepts the flag, runs in milliseconds.
+    let out = repro(&["table4", "--recovery", "lfa"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(text.contains("Table IV"), "{text}");
+}

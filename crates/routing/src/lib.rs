@@ -14,7 +14,10 @@
 //!   scratch, [`IncrementalSpf`] repairs only the affected shortest-path
 //!   subtree; both emit [`FibDelta`]s consumed by [`Fib::apply`],
 //! * [`SpfThrottle`] — Cisco-style SPF throttling with exponential
-//!   backoff (the source of the paper's multi-second recovery tail), and
+//!   backoff (the source of the paper's multi-second recovery tail),
+//! * [`RecoveryMode`] — the pluggable recovery seam: wait for OSPF, fall
+//!   through to F²Tree's static backups, or install a precomputed
+//!   [`FrrPlan`] repair delta the moment detection fires, and
 //! * [`RouterProcess`] — the per-switch state machine tying it together.
 //!
 //! # Examples
@@ -45,6 +48,7 @@ mod engine;
 mod fib;
 mod lsdb;
 mod process;
+mod recovery;
 mod route;
 mod spf;
 mod throttle;
@@ -54,6 +58,7 @@ pub use engine::{FullSpf, IncrementalSpf, SpfEngine, SpfEngineKind};
 pub use fib::{Fib, FibDelta, FibOp, RoutesIter};
 pub use lsdb::{Adjacency, Lsa, Lsdb};
 pub use process::{RouterAction, RouterConfig, RouterProcess};
+pub use recovery::{FrrPlan, RecoveryMode};
 pub use route::{NextHop, Route, RouteOrigin};
 pub use spf::{compute_routes, shortest_paths, Reached};
 pub use throttle::{SpfThrottle, ThrottleConfig};

@@ -35,6 +35,7 @@ use dcn_sim::{timers, SimDuration, SimTime};
 use crate::engine::{SpfEngine, SpfEngineKind};
 use crate::fib::{Fib, FibDelta};
 use crate::lsdb::{Adjacency, Lsa, Lsdb};
+use crate::recovery::{FrrPlan, RecoveryMode};
 use crate::route::{NextHop, Route, RouteOrigin};
 use crate::throttle::{SpfThrottle, ThrottleConfig};
 
@@ -48,6 +49,10 @@ pub struct RouterConfig {
     pub fib_update_delay: SimDuration,
     /// Which SPF engine computes routes (full Dijkstra by default).
     pub spf_engine: SpfEngineKind,
+    /// Which recovery discipline bridges detection and reconvergence.
+    /// Only [`RecoveryMode::PrecomputedFrr`] changes router behaviour
+    /// (the other two are topology/bootstrap concerns).
+    pub recovery: RecoveryMode,
 }
 
 impl Default for RouterConfig {
@@ -56,6 +61,7 @@ impl Default for RouterConfig {
             throttle: ThrottleConfig::default(),
             fib_update_delay: timers::FIB_UPDATE_DELAY,
             spf_engine: SpfEngineKind::default(),
+            recovery: RecoveryMode::default(),
         }
     }
 }
@@ -118,6 +124,9 @@ pub struct RouterProcess {
     install_gen: u64,
     installed_gen: u64,
     my_prefixes: Vec<Prefix>,
+    /// Precomputed per-link repair deltas (empty unless the fabric runs
+    /// [`RecoveryMode::PrecomputedFrr`] — see [`Self::set_frr_plan`]).
+    frr_plan: FrrPlan,
 }
 
 impl RouterProcess {
@@ -144,6 +153,7 @@ impl RouterProcess {
             install_gen: 0,
             installed_gen: 0,
             my_prefixes,
+            frr_plan: FrrPlan::new(),
         }
     }
 
@@ -170,6 +180,18 @@ impl RouterProcess {
     /// Marks interfaces as OSPF-passive (call before [`Self::bootstrap`]).
     pub fn set_passive(&mut self, links: impl IntoIterator<Item = LinkId>) {
         self.passive.extend(links);
+    }
+
+    /// Installs the precomputed fast-reroute plan (call before the
+    /// experiment starts; only consulted under
+    /// [`RecoveryMode::PrecomputedFrr`]).
+    pub fn set_frr_plan(&mut self, plan: FrrPlan) {
+        self.frr_plan = plan;
+    }
+
+    /// Read access to the installed fast-reroute plan.
+    pub fn frr_plan(&self) -> &FrrPlan {
+        &self.frr_plan
     }
 
     /// Whether `link` is locally marked dead.
@@ -269,8 +291,27 @@ impl RouterProcess {
         if self.passive.contains(&link) {
             // Passive interfaces are invisible to OSPF: the dead-set
             // update (which drives fast-reroute fall-through) is all that
-            // happens.
+            // happens. Precomputed repair plans never key passive links
+            // either — no OSPF primary ever uses one.
             return;
+        }
+        if !up && self.config.recovery == RecoveryMode::PrecomputedFrr {
+            // Apply the link's precomputed repair delta one FIB-update
+            // delay after detection — no flood, no SPF timer wait. The
+            // delta shares the SPF installs' generation sequence, so the
+            // replay guard and ordering law hold across both kinds.
+            if let Some(delta) = self.frr_plan.get(&link) {
+                if !delta.is_empty() {
+                    self.install_gen += 1;
+                    actions.push(RouterAction::Install {
+                        at: now + self.config.fib_update_delay,
+                        generation: self.install_gen,
+                        // The plan outlives this activation (the link may
+                        // flap and fail again later).
+                        delta: delta.clone(), // lint:allow(clone-in-hot-path)
+                    });
+                }
+            }
         }
         let lsa = self.originate_lsa();
         actions.push(RouterAction::FloodLsa { lsa, except: None });
@@ -334,12 +375,26 @@ impl RouterProcess {
     /// The scheduled FIB install completed: apply the delta. Deltas
     /// arrive in generation order (the FIB-update delay is constant), so
     /// the guard only drops exact replays.
+    ///
+    /// Under [`RecoveryMode::PrecomputedFrr`], an OSPF-origin install is
+    /// the reconciliation point: the SPF result now routes around every
+    /// failure it knows of, so all FRR repair routes are retired. A
+    /// repair for a failure this SPF run had not yet learned of is
+    /// re-installed by that failure's own (later-generation) activation,
+    /// preserving the ordering law.
     pub fn on_install(&mut self, generation: u64, delta: FibDelta) {
         if generation <= self.installed_gen {
             return; // already applied (replayed event)
         }
         self.installed_gen = generation;
+        let reconcile = self.config.recovery == RecoveryMode::PrecomputedFrr
+            && delta.origin == RouteOrigin::Ospf;
         self.fib.apply(delta);
+        if reconcile {
+            // Strips only the (tiny) Frr overlay origin — no SPF or
+            // trie rebuild happens on this path.
+            self.fib.replace_origin(RouteOrigin::Frr, Vec::new()); // lint:allow(full-recompute-in-event-context)
+        }
     }
 
     /// Data-plane forwarding decision for a packet (FIB lookup with
@@ -580,6 +635,131 @@ mod tests {
             1,
             vec![],
         ));
+    }
+
+    /// The diamond with FRR mode on and a hand-built repair plan at r0:
+    /// if link 0 (r0–r1) dies, repair 10.11.0.0/24 via r2. (A mechanics
+    /// test — plan *computation* and loop-freedom live in `dcn-frr`.)
+    fn frr_diamond() -> Vec<RouterProcess> {
+        let cfg = RouterConfig {
+            recovery: RecoveryMode::PrecomputedFrr,
+            ..RouterConfig::default()
+        };
+        let mut routers = vec![
+            RouterProcess::new(NodeId::new(0), cfg, vec![adj(1, 0), adj(2, 1)], vec![]),
+            RouterProcess::new(NodeId::new(1), cfg, vec![adj(0, 0), adj(3, 2)], vec![]),
+            RouterProcess::new(NodeId::new(2), cfg, vec![adj(0, 1), adj(3, 3)], vec![]),
+            RouterProcess::new(
+                NodeId::new(3),
+                cfg,
+                vec![adj(1, 2), adj(2, 3)],
+                vec!["10.11.0.0/24".parse().unwrap()],
+            ),
+        ];
+        let lsas: Vec<Lsa> = routers.iter_mut().map(|r| r.originate_lsa()).collect();
+        for r in &mut routers {
+            r.bootstrap(lsas.clone());
+        }
+        let mut plan = FrrPlan::new();
+        plan.insert(
+            LinkId::new(0),
+            FibDelta {
+                origin: RouteOrigin::Frr,
+                ops: vec![crate::FibOp::Insert(Route::new(
+                    "10.11.0.0/24".parse().unwrap(),
+                    RouteOrigin::Frr,
+                    3,
+                    vec![NextHop {
+                        node: NodeId::new(2),
+                        link: LinkId::new(1),
+                    }],
+                ))],
+            },
+        );
+        routers[0].set_frr_plan(plan);
+        routers
+    }
+
+    #[test]
+    fn frr_detection_installs_repair_without_spf_wait() {
+        let mut routers = frr_diamond();
+        let now = SimTime::ZERO + SimDuration::from_millis(100);
+        let actions = collected(|a| routers[0].on_link_detected(now, LinkId::new(0), false, a));
+        // Repair install first, then the usual flood + SPF schedule.
+        let RouterAction::Install {
+            at,
+            generation,
+            delta,
+        } = &actions[0]
+        else {
+            panic!("expected repair install first, got {actions:?}");
+        };
+        assert_eq!((*at - now).as_millis(), 10);
+        assert_eq!(delta.origin, RouteOrigin::Frr);
+        assert!(matches!(actions[1], RouterAction::FloodLsa { .. }));
+        assert!(matches!(actions[2], RouterAction::ScheduleSpf { .. }));
+        routers[0].on_install(*generation, delta.clone());
+        // Forwarding reroutes via r2 (OSPF dead-hop pruning plus the
+        // repair entry agree here) and the Frr route is in the FIB.
+        for sport in 0..8 {
+            let mut f = flow();
+            f.src_port = sport;
+            assert_eq!(routers[0].forward(&f).unwrap().node, NodeId::new(2));
+        }
+        let frr_routes = routers[0]
+            .fib()
+            .routes()
+            .filter(|r| r.origin == RouteOrigin::Frr)
+            .count();
+        assert_eq!(frr_routes, 1);
+    }
+
+    #[test]
+    fn frr_routes_retire_when_spf_reconciles() {
+        let mut routers = frr_diamond();
+        let t0 = SimTime::ZERO;
+        let actions = collected(|a| routers[0].on_link_detected(t0, LinkId::new(0), false, a));
+        let RouterAction::Install {
+            generation, delta, ..
+        } = &actions[0]
+        else {
+            panic!("expected repair install");
+        };
+        routers[0].on_install(*generation, delta.clone());
+        let spf_at = actions
+            .iter()
+            .find_map(|a| match a {
+                RouterAction::ScheduleSpf { at } => Some(*at),
+                _ => None,
+            })
+            .unwrap();
+        let spf_actions = collected(|a| routers[0].on_spf_timer(spf_at, a));
+        let RouterAction::Install {
+            generation, delta, ..
+        } = &spf_actions[0]
+        else {
+            panic!("expected SPF install");
+        };
+        routers[0].on_install(*generation, delta.clone());
+        // Reconciliation retired the repair route; OSPF now owns the
+        // rerouted path and forwarding is unchanged.
+        let frr_routes = routers[0]
+            .fib()
+            .routes()
+            .filter(|r| r.origin == RouteOrigin::Frr)
+            .count();
+        assert_eq!(frr_routes, 0);
+        assert_eq!(routers[0].forward(&flow()).unwrap().node, NodeId::new(2));
+    }
+
+    #[test]
+    fn default_mode_never_emits_repair_installs() {
+        let mut routers = diamond();
+        let actions =
+            collected(|a| routers[1].on_link_detected(SimTime::ZERO, LinkId::new(2), false, a));
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, RouterAction::Install { .. })));
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::fmt;
 use dcn_net::{LinkId, NodeId, Prefix};
 
 /// Where a route came from, ordered by administrative preference
-/// (connected beats static beats OSPF, mirroring real admin distances
-/// 0 / 1 / 110).
+/// (connected beats static beats OSPF beats FRR repair, mirroring real
+/// admin distances 0 / 1 / 110 / 254).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RouteOrigin {
     /// Directly connected (a ToR's attached host, at /32).
@@ -15,6 +15,14 @@ pub enum RouteOrigin {
     Static,
     /// Learned from the link-state protocol.
     Ospf,
+    /// Precomputed fast-reroute repair (LFA/remote-LFA alternates from
+    /// `dcn-frr`'s failure map). Deliberately *least* preferred: a repair
+    /// route at the same prefix as an OSPF route stays dormant while the
+    /// OSPF next hops are alive, and activates through the FIB's
+    /// within-prefix origin fall-through the moment detection marks them
+    /// dead — the same mechanism F²Tree's shorter-prefix backups use,
+    /// applied at equal prefix length.
+    Frr,
 }
 
 impl RouteOrigin {
@@ -24,6 +32,7 @@ impl RouteOrigin {
             RouteOrigin::Connected => 0,
             RouteOrigin::Static => 1,
             RouteOrigin::Ospf => 110,
+            RouteOrigin::Frr => 254,
         }
     }
 }
@@ -34,6 +43,7 @@ impl fmt::Display for RouteOrigin {
             RouteOrigin::Connected => "connected",
             RouteOrigin::Static => "static",
             RouteOrigin::Ospf => "ospf",
+            RouteOrigin::Frr => "frr",
         };
         f.write_str(s)
     }
@@ -107,7 +117,9 @@ mod tests {
     fn origin_preference_order() {
         assert!(RouteOrigin::Connected < RouteOrigin::Static);
         assert!(RouteOrigin::Static < RouteOrigin::Ospf);
+        assert!(RouteOrigin::Ospf < RouteOrigin::Frr);
         assert!(RouteOrigin::Connected.admin_distance() < RouteOrigin::Ospf.admin_distance());
+        assert!(RouteOrigin::Ospf.admin_distance() < RouteOrigin::Frr.admin_distance());
     }
 
     #[test]
