@@ -27,7 +27,11 @@
 # 8. the fast-reroute chaos gate: the same fixed-seed campaign under
 #    `--recovery frr` (single-failure preset, tightened blackhole bound —
 #    detection + FIB update, no SPF terms; see DESIGN.md §11) must report
-#    zero violations and be byte-identical across worker counts.
+#    zero violations and be byte-identical across worker counts,
+# 9. the quality-observer gate: a fixed-seed campaign with `--quality`
+#    (per-FIB-epoch congestion scoring; see DESIGN.md §12) must render
+#    byte-identical traces on 1 and 4 workers — the fixed-point scores
+#    may not depend on scheduling.
 set -eu
 
 cd "$(dirname "$0")"
@@ -75,5 +79,13 @@ for workers in 1 2; do
         > "target/chaos-frr-w$workers.txt"
 done
 cmp target/chaos-frr-w1.txt target/chaos-frr-w2.txt
+
+echo "==> repro chaos --quality (per-epoch congestion scoring, worker-invariant)"
+for workers in 1 4; do
+    cargo run -q --release -p f2tree-experiments --bin repro -- \
+        chaos --quality --seed 20150701 --campaigns 10 --workers "$workers" \
+        > "target/chaos-quality-w$workers.txt"
+done
+cmp target/chaos-quality-w1.txt target/chaos-quality-w4.txt
 
 echo "ci.sh: all gates passed"

@@ -14,11 +14,14 @@ use dcn_sim::{timers, SimDuration, SimTime};
 use dcn_sweep::{ExperimentSpec, Workers};
 use f2tree::{Design, TestBed, TestBedError};
 
+use dcn_metrics::quality::QualityReport;
+
 use crate::campaign::{generate_scenario, CampaignConfig};
 use crate::oracle::{
     blackhole_bound, fib_spf_divergence, flood_graph_connected, lsdb_fingerprint,
     routably_connected, walk, OracleConfig, Violation, ViolationKind, WalkOutcome,
 };
+use crate::quality::QualityTrace;
 use crate::scenario::ScenarioSpec;
 
 /// Source ports of the monitored flow keys — three per host pair so the
@@ -40,6 +43,11 @@ pub struct EngineConfig {
     /// Recovery discipline the emulated routers run (default: the
     /// design's own — F²Tree static backups where applicable).
     pub recovery: RecoveryMode,
+    /// Score routing quality (expected load / oversubscription / path
+    /// diversity) at every observed FIB epoch. Off by default: the
+    /// observer never fails a run, but it does cost a FIB sweep per
+    /// epoch.
+    pub quality: bool,
 }
 
 impl EngineConfig {
@@ -53,6 +61,7 @@ impl EngineConfig {
                 ..OracleConfig::default()
             },
             recovery,
+            quality: false,
         }
     }
 }
@@ -86,6 +95,9 @@ pub struct ScenarioOutcome {
     pub violations: Vec<Violation>,
     /// Run counters.
     pub stats: ScenarioStats,
+    /// Routing-quality trajectory (baseline + every observed epoch);
+    /// present only when [`EngineConfig::quality`] is armed.
+    pub quality: Option<QualityTrace>,
 }
 
 impl ScenarioOutcome {
@@ -208,6 +220,19 @@ pub fn run_scenario(
     let mut flood_ok = true;
     let mut last_epoch = bed.net.fib_epoch();
 
+    // Quality baseline: the converged pre-failure forwarding state.
+    let mut quality = if cfg.quality {
+        let mut trace = QualityTrace::default();
+        trace.push(
+            bed.net.now(),
+            last_epoch,
+            QualityReport::compute(&bed.net.quality_input()),
+        );
+        Some(trace)
+    } else {
+        None
+    };
+
     while let Some(now) = bed.net.step(horizon) {
         let epoch = bed.net.fib_epoch();
         if epoch == last_epoch {
@@ -215,6 +240,10 @@ pub fn run_scenario(
         }
         last_epoch = epoch;
         stats.epochs_checked += 1;
+
+        if let Some(trace) = &mut quality {
+            trace.push(now, epoch, QualityReport::compute(&bed.net.quality_input()));
+        }
 
         let hold = max_hold(&bed.net, &switches);
         for m in &mut monitors {
@@ -359,7 +388,11 @@ pub fn run_scenario(
     }
 
     stats.sim_events = bed.net.events_processed();
-    Ok(ScenarioOutcome { violations, stats })
+    Ok(ScenarioOutcome {
+        violations,
+        stats,
+        quality,
+    })
 }
 
 fn max_hold(net: &Network, switches: &[NodeId]) -> SimDuration {
@@ -564,6 +597,26 @@ impl ChaosReport {
             self.total_violations(),
             self.results.len()
         ));
+        out
+    }
+
+    /// Renders the per-campaign quality traces (baseline + every FIB
+    /// epoch), byte-identical at any worker count. Empty when the
+    /// engine ran without the quality observer.
+    pub fn render_quality(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            let Some(trace) = &r.outcome.quality else {
+                continue;
+            };
+            out.push_str(&format!(
+                "  #{:<4} {:<8} quality ({} snapshot(s)):\n{}\n",
+                r.index,
+                design_label(r.design),
+                trace.epochs.len(),
+                trace
+            ));
+        }
         out
     }
 }

@@ -42,6 +42,7 @@
 pub mod campaign;
 pub mod engine;
 pub mod oracle;
+pub mod quality;
 pub mod scenario;
 pub mod shrink;
 
@@ -54,5 +55,6 @@ pub use oracle::{
     blackhole_bound, physically_connected, routably_connected, walk, OracleConfig, Violation,
     ViolationKind, WalkOutcome,
 };
+pub use quality::{EpochQuality, QualityTrace};
 pub use scenario::{Incident, IncidentKind, ScenarioParseError, ScenarioSpec};
 pub use shrink::shrink_scenario;

@@ -43,6 +43,8 @@
 
 mod config;
 mod network;
+mod quality;
 
 pub use config::{ControlPlaneMode, EmuConfig, EmuConfigBuilder};
 pub use network::{DropCounters, FlowId, Network, RequestId, TcpFlowStats, UdpProbeReport};
+pub use quality::extract_quality_input;

@@ -55,7 +55,8 @@ use f2tree_experiments::extensions::{
 };
 use f2tree_experiments::fig7::{format_fig7, run_fig7_sweep, Fig7Config};
 use f2tree_experiments::plot::{sparkline, sparkline_values};
-use f2tree_experiments::recovery::{format_recovery, frr_wins, run_recovery_sweep};
+use f2tree_experiments::quality::{format_quality, run_quality_sweep};
+use f2tree_experiments::recovery::{congestion_cost, format_recovery, frr_wins, run_recovery_sweep};
 use f2tree_experiments::summary::{format_summary, run_summary};
 use f2tree_experiments::table1::{format_table1, run_table1};
 use f2tree_experiments::table2::{format_table2, run_table2};
@@ -71,7 +72,7 @@ repro — regenerate the paper's tables and figures
 
 usage:
   repro [FLAGS] [TARGET ...]
-  repro chaos [--seed N] [--campaigns M] [--recovery MODE] [--workers W] [--out DIR]
+  repro chaos [--seed N] [--campaigns M] [--recovery MODE] [--quality] [--workers W] [--out DIR]
   repro bench-fig4 [--quick] [--out DIR] [--scheduler K] [--spf E]
 
 targets (default: everything except fig6seeds):
@@ -79,6 +80,9 @@ targets (default: everything except fig6seeds):
   fig4 fig5 fig6 fig7           paper figures
   recovery                      three-mode recovery comparison
                                 (ospf vs f2tree vs frr on C1-C7)
+  quality                       routing-quality grid: max fabric load /
+                                undeliverable demand / path diversity at
+                                healthy, mid-failover, settled snapshots
   bisection aspen c7x ablation centralized summary unidirectional
                                 beyond-paper extensions
   fig6seeds                     opt-in: 20-seed Fig. 6 workload stats
@@ -96,13 +100,15 @@ flags:
   --recovery VALUE       recovery mode: ospf | f2tree | frr (alias: lfa)
   --seed N               chaos: master seed (default 20150701)
   --campaigns M          chaos: scenario count (default 200)
+  --quality              chaos: score routing quality at every FIB epoch
+                         and print the per-campaign traces
   -h, --help             this text
 ";
 
 /// Every recognized target word.
 const TARGETS: &[&str] = &[
     "table1", "table2", "table3", "fig2", "table4", "fig4", "fig5", "fig6", "fig6seeds", "fig7",
-    "recovery", "bisection", "aspen", "c7x", "ablation", "centralized", "summary",
+    "recovery", "quality", "bisection", "aspen", "c7x", "ablation", "centralized", "summary",
     "unidirectional", "chaos", "bench-fig4", "all",
 ];
 
@@ -269,10 +275,19 @@ fn main() {
     if want("recovery") {
         let results = run_recovery_sweep(&condition_cfg, workers);
         println!("{}", format_recovery(&results));
+        println!("frr beats ospf on: {}", frr_wins(&results).join(" "));
         println!(
-            "frr beats ospf on: {}\n",
-            frr_wins(&results).join(" ")
+            "f2tree pays congestion on: {}",
+            congestion_cost(&results, RecoveryMode::F2TreeRewiring).join(" ")
         );
+        println!(
+            "frr pays congestion on: {}\n",
+            congestion_cost(&results, RecoveryMode::PrecomputedFrr).join(" ")
+        );
+    }
+    if want("quality") {
+        let results = run_quality_sweep(&condition_cfg, workers);
+        println!("{}", format_quality(&results));
     }
     if want("fig6") {
         let cfg = if quick {
@@ -438,6 +453,7 @@ fn run_chaos_cli(args: &[String], recovery: RecoveryMode, workers: Workers, out_
     if let Some(campaigns) = parse_flag(args, "--campaigns") {
         cfg.campaigns = campaigns;
     }
+    cfg.engine.quality = args.iter().any(|a| a == "--quality");
     let report = match run_chaos(&cfg, workers) {
         Ok(report) => report,
         Err(e) => {
@@ -446,6 +462,9 @@ fn run_chaos_cli(args: &[String], recovery: RecoveryMode, workers: Workers, out_
         }
     };
     print!("{}", report.render());
+    if cfg.engine.quality {
+        print!("{}", report.render_quality());
+    }
     if report.total_violations() == 0 {
         return;
     }

@@ -8,9 +8,10 @@
 
 use dcn_emu::EmuConfig;
 use dcn_failure::Condition;
+use dcn_metrics::quality::QualityReport;
 use dcn_metrics::ThroughputSeries;
 use dcn_routing::{RecoveryMode, SpfEngineKind};
-use dcn_sim::{SchedulerKind, SimDuration, SimTime};
+use dcn_sim::{timers, SchedulerKind, SimDuration, SimTime};
 use dcn_sweep::{ExperimentSpec, Workers};
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +93,25 @@ pub struct ConditionResult {
     pub throughput_collapse_us: Option<u64>,
     /// Fig. 5: `(time_ms, mean_delay_us)` points; `None` delay = gap.
     pub delay_series: Vec<(u64, Option<f64>)>,
+    /// Quantized max fabric-edge load of the converged pre-failure
+    /// routing (see `dcn_metrics::quality`).
+    pub healthy_max_load: u64,
+    /// Quantized max fabric-edge load at the mid-failover snapshot —
+    /// after fast reroute has activated, before OSPF reconverges. The
+    /// congestion price of the repair paths.
+    pub post_failover_max_load: u64,
+    /// Quantized demand undeliverable at the mid-failover snapshot
+    /// (blackholed while the recovery discipline has no repair path).
+    pub post_failover_undeliverable: u64,
+}
+
+/// The mid-failover observation offset after the failure instant:
+/// halfway through the OSPF reconvergence pipeline (detection + SPF
+/// scheduling + FIB install). Fast-reroute disciplines have activated
+/// their repair paths by then (detection-bounded), while plain OSPF has
+/// not yet installed new routes — the snapshot that separates them.
+pub fn mid_failover_offset() -> SimDuration {
+    (timers::DETECTION_DELAY + timers::SPF_INITIAL_DELAY + timers::FIB_UPDATE_DELAY) / 2
 }
 
 /// Runs one condition on one design.
@@ -133,6 +153,13 @@ fn run_condition_measured(
         bed.net.fail_link_at(fail_at, link);
     }
 
+    // Routing-quality snapshots bracket the failure: the converged
+    // pre-failure baseline, then the mid-failover state (run_until is a
+    // step loop, so splitting it at the snapshot instant is
+    // behavior-identical to one uninterrupted run).
+    let healthy = QualityReport::compute(&bed.net.quality_input());
+    bed.net.run_until(fail_at + mid_failover_offset());
+    let failover = QualityReport::compute(&bed.net.quality_input());
     bed.net.run_until(horizon);
 
     let report = bed.net.udp_probe_report(udp);
@@ -172,6 +199,9 @@ fn run_condition_measured(
         packets_lost: report.lost,
         throughput_collapse_us: collapse.map(|c| c.as_micros()),
         delay_series,
+        healthy_max_load: healthy.max_load,
+        post_failover_max_load: failover.max_load,
+        post_failover_undeliverable: failover.undeliverable,
     };
     let events = bed.net.events_processed();
     (result, events)

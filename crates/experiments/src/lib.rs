@@ -37,6 +37,7 @@ pub mod common;
 pub mod conditions;
 pub mod extensions;
 pub mod plot;
+pub mod quality;
 pub mod recovery;
 pub mod summary;
 pub mod fig7;

@@ -14,6 +14,7 @@
 //! every mode to OSPF reconvergence.
 
 use dcn_failure::Condition;
+use dcn_metrics::quality::format_load;
 use dcn_routing::RecoveryMode;
 use dcn_sweep::{ExperimentSpec, Workers};
 use serde::{Deserialize, Serialize};
@@ -63,14 +64,31 @@ pub fn run_recovery_sweep(config: &ConditionConfig, workers: Workers) -> Vec<Rec
 }
 
 /// Renders the comparison as one row per condition with the three modes
-/// side by side (the golden-fixture format).
+/// side by side (the golden-fixture format). Besides the recovery-time
+/// columns, each mode reports its mid-failover max fabric load — the
+/// congestion price of the repair paths while the control plane has not
+/// yet reconverged.
 pub fn format_recovery(results: &[RecoveryResult]) -> String {
     let mut out = String::new();
     out.push_str(
         "Recovery-mode comparison on the rewired k=8 DCN (C1-C7)\n\
          loss = connectivity-loss duration in us; '-' = no loss observed\n\
-         cond |  ospf loss | f2tree loss |   frr loss | ospf pkts | f2tree pkts | frr pkts\n\
-         -----+------------+-------------+------------+-----------+-------------+---------\n",
+         maxload = mid-failover max fabric-edge load (multiples of one access link)\n",
+    );
+    let healthy = results
+        .iter()
+        .find(|r| r.recovery == RecoveryMode::OspfReconvergence)
+        .map(|r| r.result.healthy_max_load)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "healthy baseline max fabric-edge load: {}\n",
+        format_load(healthy)
+    ));
+    out.push_str(
+        "cond |  ospf loss | f2tree loss |   frr loss | ospf pkts | f2tree pkts | frr pkts \
+         | ospf maxload | f2tree maxload | frr maxload\n\
+         -----+------------+-------------+------------+-----------+-------------+----------\
+         +--------------+----------------+------------\n",
     );
     for condition in Condition::ALL {
         let cell = |mode: RecoveryMode| {
@@ -86,8 +104,13 @@ pub fn format_recovery(results: &[RecoveryResult]) -> String {
             })
         };
         let pkts = |mode| cell(mode).map_or("?".into(), |r| r.result.packets_lost.to_string());
+        let maxload = |mode| {
+            cell(mode).map_or("?".into(), |r| {
+                format_load(r.result.post_failover_max_load)
+            })
+        };
         out.push_str(&format!(
-            "{:<4} | {:>10} | {:>11} | {:>10} | {:>9} | {:>11} | {:>8}\n",
+            "{:<4} | {:>10} | {:>11} | {:>10} | {:>9} | {:>11} | {:>8} | {:>12} | {:>14} | {:>11}\n",
             condition.to_string(),
             loss(RecoveryMode::OspfReconvergence),
             loss(RecoveryMode::F2TreeRewiring),
@@ -95,9 +118,28 @@ pub fn format_recovery(results: &[RecoveryResult]) -> String {
             pkts(RecoveryMode::OspfReconvergence),
             pkts(RecoveryMode::F2TreeRewiring),
             pkts(RecoveryMode::PrecomputedFrr),
+            maxload(RecoveryMode::OspfReconvergence),
+            maxload(RecoveryMode::F2TreeRewiring),
+            maxload(RecoveryMode::PrecomputedFrr),
         ));
     }
     out
+}
+
+/// The conditions on which `mode`'s mid-failover max fabric load
+/// strictly exceeds its healthy baseline — where the fast repair paths
+/// measurably concentrate load while buying their recovery-time win.
+pub fn congestion_cost(results: &[RecoveryResult], mode: RecoveryMode) -> Vec<String> {
+    Condition::ALL
+        .into_iter()
+        .map(|c| c.to_string())
+        .filter(|c| {
+            results
+                .iter()
+                .find(|r| r.recovery == mode && &r.result.condition == c)
+                .is_some_and(|r| r.result.post_failover_max_load > r.result.healthy_max_load)
+        })
+        .collect()
 }
 
 /// The conditions on which FRR's loss window is strictly smaller than

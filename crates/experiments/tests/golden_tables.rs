@@ -17,7 +17,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use f2tree_experiments::conditions::{format_table4, ConditionConfig};
-use f2tree_experiments::recovery::{format_recovery, frr_wins, run_recovery_sweep};
+use f2tree_experiments::quality::{format_quality, run_quality_sweep};
+use f2tree_experiments::recovery::{congestion_cost, format_recovery, frr_wins, run_recovery_sweep};
 use f2tree_experiments::table1::{format_table1, run_table1};
 use f2tree_experiments::table2::{format_table2, run_table2};
 use f2tree_experiments::testbed::{format_table3, run_table3, TestbedConfig};
@@ -30,6 +31,11 @@ fn golden_path(name: &str) -> PathBuf {
 
 /// Compares `actual` to the fixture, or rewrites the fixture when
 /// `UPDATE_GOLDEN` is set.
+///
+/// Multi-column grids get a cell-level diff on mismatch: the failure
+/// message names the first differing line and, when both lines split
+/// into the same number of `|`-separated cells, the first differing
+/// cell with both values — instead of dumping two whole tables.
 fn check_golden(name: &str, actual: &str) {
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -38,11 +44,57 @@ fn check_golden(name: &str, actual: &str) {
     }
     let expected = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with UPDATE_GOLDEN=1", name));
-    assert_eq!(
-        actual, expected,
-        "{name} drifted from its fixture; if intentional, regenerate with \
-         UPDATE_GOLDEN=1 and review the diff"
+    if actual == expected {
+        return;
+    }
+    panic!(
+        "{name} drifted from its fixture: {}\nif intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the diff",
+        first_grid_difference(&expected, actual)
     );
+}
+
+/// Locates the first difference between two rendered grids, at cell
+/// granularity where the line structure allows it.
+fn first_grid_difference(expected: &str, actual: &str) -> String {
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    let act_lines: Vec<&str> = actual.lines().collect();
+    for (i, (exp, act)) in exp_lines.iter().zip(&act_lines).enumerate() {
+        if exp == act {
+            continue;
+        }
+        let row = i + 1;
+        let exp_cells: Vec<&str> = exp.split('|').map(str::trim).collect();
+        let act_cells: Vec<&str> = act.split('|').map(str::trim).collect();
+        if exp_cells.len() == act_cells.len() && exp_cells.len() > 1 {
+            for (j, (ec, ac)) in exp_cells.iter().zip(&act_cells).enumerate() {
+                if ec != ac {
+                    return format!(
+                        "line {row}, column {} differs: expected '{ec}', got '{ac}'\n\
+                         expected line: {exp}\n  actual line: {act}",
+                        j + 1
+                    );
+                }
+            }
+        }
+        return format!("line {row} differs:\nexpected line: {exp}\n  actual line: {act}");
+    }
+    match exp_lines.len().cmp(&act_lines.len()) {
+        std::cmp::Ordering::Greater => format!(
+            "output truncated: expected {} line(s), got {} (first missing: {})",
+            exp_lines.len(),
+            act_lines.len(),
+            exp_lines.get(act_lines.len()).copied().unwrap_or("")
+        ),
+        std::cmp::Ordering::Less => format!(
+            "output has {} extra line(s) (first extra: {})",
+            act_lines.len() - exp_lines.len(),
+            act_lines.get(exp_lines.len()).copied().unwrap_or("")
+        ),
+        std::cmp::Ordering::Equal => "line contents match but raw bytes differ \
+             (trailing whitespace or newline convention)"
+            .into(),
+    }
 }
 
 /// Table I (failure-recovery properties) at every size `repro` prints.
@@ -101,5 +153,53 @@ fn recovery_modes_match_golden_and_frr_beats_ospf() {
     }) {
         let loss = r.result.connectivity_loss_us.expect("probe recovers");
         assert!(loss < 100_000, "{}: frr loss {loss}us\n{out}", r.result.condition);
+    }
+    // The recovery-time win is not free: both fast-reroute disciplines
+    // must pay a measurable mid-failover congestion increase over the
+    // healthy baseline on at least one C1–C6 condition (golden-pinned
+    // above; this keeps the "cost" headline non-vacuous).
+    for mode in [
+        dcn_routing::RecoveryMode::F2TreeRewiring,
+        dcn_routing::RecoveryMode::PrecomputedFrr,
+    ] {
+        let costly = congestion_cost(&results, mode);
+        assert!(
+            costly.iter().any(|c| c != "C7"),
+            "{mode} shows no congestion cost on any C1-C6 condition\n{out}"
+        );
+    }
+}
+
+/// The quality grid (three modes × C1–C7 plus the fat-tree baseline) —
+/// byte-exact, and the fast-reroute modes must price their speed: the
+/// mid-failover max load is never below the healthy baseline, and
+/// strictly above it somewhere on C1–C6.
+#[test]
+fn quality_modes_match_golden_and_fast_reroute_pays_congestion() {
+    let results = run_quality_sweep(&ConditionConfig::default(), dcn_sweep::Workers::SERIAL);
+    let mut out = String::new();
+    writeln!(out, "{}", format_quality(&results)).unwrap();
+    check_golden("quality_modes.txt", &out);
+
+    for mode in [
+        dcn_routing::RecoveryMode::F2TreeRewiring,
+        dcn_routing::RecoveryMode::PrecomputedFrr,
+    ] {
+        let cells: Vec<_> = results.iter().filter(|r| r.recovery == mode).collect();
+        assert_eq!(cells.len(), 7, "{mode} covers C1-C7");
+        for r in &cells {
+            assert!(
+                r.failover.max_load >= r.healthy.max_load,
+                "{mode} {}: failover max load {} below healthy {}\n{out}",
+                r.condition,
+                r.failover.max_load,
+                r.healthy.max_load
+            );
+        }
+        assert!(
+            cells.iter().any(|r| r.condition != "C7"
+                && r.failover.max_load > r.healthy.max_load),
+            "{mode}: no strict max-load increase on any C1-C6 condition\n{out}"
+        );
     }
 }

@@ -10,7 +10,10 @@
 //!   Fig. 2, Fig. 4(c)),
 //! * [`DelaySeries`] — per-packet end-to-end delay over time (Fig. 5),
 //! * [`CompletionStats`] — request completion times, deadline-miss
-//!   ratios and CDFs (Fig. 6).
+//!   ratios and CDFs (Fig. 6),
+//! * [`QualityReport`] — per-FIB-epoch routing-quality scoring
+//!   (expected link load, oversubscription, path diversity); see the
+//!   [`quality`] module.
 //!
 //! # Examples
 //!
@@ -31,10 +34,14 @@ mod completion;
 mod connectivity;
 mod delay;
 mod fct;
+pub mod quality;
 mod throughput;
 
 pub use completion::CompletionStats;
 pub use connectivity::{ConnectivityLoss, ConnectivityTracker};
 pub use delay::{DelaySample, DelaySeries};
 pub use fct::DurationSummary;
+pub use quality::{
+    DiversitySummary, LinkLoads, LoadSummary, NextHopDag, QualityInput, QualityReport,
+};
 pub use throughput::ThroughputSeries;

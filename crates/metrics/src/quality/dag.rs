@@ -1,0 +1,60 @@
+//! Dense-index snapshot of the installed forwarding state.
+//!
+//! The emulator extracts one [`NextHopDag`] per destination ToR from
+//! the routers' FIBs ([`RouterProcess::live_next_hops`]-style seams)
+//! and hands the whole bundle to this crate as a [`QualityInput`].
+//! Nodes and directed edges are dense `usize` indices so the metrics
+//! side needs no topology types — only graph structure.
+
+use std::collections::BTreeMap;
+
+/// The ECMP next-hop DAG toward one destination, plus the demand
+/// injected into it.
+///
+/// `next_hops[node]` lists the `(directed edge, successor node)` pairs
+/// the FIB splits `dst`-bound traffic over at `node`, equally. A node
+/// with no entry (or an empty list) blackholes its share. Edges listed
+/// here may be physically dead but not yet locally detected — the
+/// propagation charges those shares as undeliverable, mirroring real
+/// packet loss.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NextHopDag {
+    /// Destination node (a ToR); demand arriving here is delivered.
+    pub dst: usize,
+    /// `(source node, demand)` pairs injected into the DAG, in
+    /// deterministic (source-index) order.
+    pub inject: Vec<(usize, f64)>,
+    /// Per-node live ECMP successor sets: `node -> [(edge, succ)]`.
+    pub next_hops: BTreeMap<usize, Vec<(usize, usize)>>,
+}
+
+/// Everything the quality metrics need about one FIB-epoch snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityInput {
+    /// Number of node slots (indices in `0..nodes`).
+    pub nodes: usize,
+    /// Number of directed-edge slots (indices in `0..edges`).
+    pub edges: usize,
+    /// Physical liveness per directed edge (link up AND direction up).
+    pub edge_alive: Vec<bool>,
+    /// Directed edges counted as fabric capacity (ToR↔Agg, Agg↔Core,
+    /// across links) — host access links are excluded, so fabric loads
+    /// read directly as oversubscription multiples of an access link.
+    pub fabric_edges: Vec<usize>,
+    /// `(src node, dst node, dag index)` triples to score for
+    /// edge-disjoint path diversity; one representative ToR per pod.
+    pub pod_pairs: Vec<(usize, usize, usize)>,
+    /// One DAG per destination ToR, in destination-index order.
+    pub dags: Vec<NextHopDag>,
+}
+
+impl QualityInput {
+    /// Total demand injected across all DAGs.
+    pub fn total_demand(&self) -> f64 {
+        self.dags
+            .iter()
+            .flat_map(|d| d.inject.iter())
+            .map(|&(_, amt)| amt)
+            .sum()
+    }
+}

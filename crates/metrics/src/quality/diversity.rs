@@ -1,0 +1,203 @@
+//! Path diversity: edge-disjoint path counts on the next-hop DAG.
+//!
+//! For a pod pair `(src, dst)` the score is the maximum number of
+//! edge-disjoint paths the *installed routing* actually offers from
+//! `src` to `dst` — max-flow with unit edge capacities on the alive
+//! next-hop DAG edges. Edmonds–Karp (BFS augmenting paths) is chosen
+//! over Dinic because the DAGs are shallow (≤ 4 hops in a fat tree)
+//! and flow values are tiny (≤ ECMP degree), so the simpler algorithm
+//! is both fast enough and easier to keep deterministic: adjacency is
+//! built in sorted node order and BFS scans arcs in insertion order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::dag::NextHopDag;
+
+/// Maximum number of edge-disjoint `src -> dst` paths through the
+/// alive edges of `dag`, via unit-capacity max-flow.
+pub fn edge_disjoint_paths(dag: &NextHopDag, edge_alive: &[bool], src: usize, dst: usize) -> u32 {
+    if src == dst {
+        return 0;
+    }
+    // Build paired forward/reverse arcs: arc 2i is forward (cap 1),
+    // arc 2i+1 its residual (cap 0). Node ids are remapped densely in
+    // sorted order for a compact adjacency map.
+    let mut arcs: Vec<(usize, usize, u8)> = Vec::new(); // (to, pair base, cap)
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (&node, hops) in &dag.next_hops {
+        if node == dag.dst {
+            continue;
+        }
+        for &(edge, succ) in hops {
+            if !edge_alive.get(edge).copied().unwrap_or(false) {
+                continue;
+            }
+            let base = arcs.len();
+            arcs.push((succ, base, 1));
+            arcs.push((node, base, 0));
+            adj.entry(node).or_default().push(base);
+            adj.entry(succ).or_default().push(base + 1);
+        }
+    }
+
+    let mut flow = 0u32;
+    loop {
+        // BFS for an augmenting path over arcs with residual capacity.
+        let mut prev_arc: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        let mut seen: BTreeMap<usize, bool> = BTreeMap::new();
+        seen.insert(src, true);
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                found = true;
+                break;
+            }
+            for &a in adj.get(&u).map(Vec::as_slice).unwrap_or(&[]) {
+                let (to, _, cap) = match arcs.get(a) {
+                    Some(&t) => t,
+                    None => continue,
+                };
+                if cap > 0 && !seen.get(&to).copied().unwrap_or(false) {
+                    seen.insert(to, true);
+                    prev_arc.insert(to, a);
+                    queue.push_back(to);
+                }
+            }
+        }
+        if !found {
+            return flow;
+        }
+        // Unit capacities: augment by exactly 1 along the path.
+        let mut v = dst;
+        while v != src {
+            let a = match prev_arc.get(&v) {
+                Some(&a) => a,
+                None => return flow,
+            };
+            let partner = a ^ 1;
+            if let Some(arc) = arcs.get_mut(a) {
+                arc.2 -= 1;
+            }
+            if let Some(arc) = arcs.get_mut(partner) {
+                arc.2 += 1;
+                v = arc.0;
+            } else {
+                return flow;
+            }
+        }
+        flow += 1;
+    }
+}
+
+/// Stable summary of per-pod-pair edge-disjoint path counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DiversitySummary {
+    /// Number of pod pairs scored.
+    pub pairs: u64,
+    /// Minimum disjoint-path count over the pairs.
+    pub min: u32,
+    /// Median (nearest-rank) disjoint-path count.
+    pub p50: u32,
+    /// Maximum disjoint-path count over the pairs.
+    pub max: u32,
+}
+
+impl DiversitySummary {
+    /// Summarizes per-pair counts; `None` when no pair was scored.
+    pub fn of(counts: &[u32]) -> Option<Self> {
+        if counts.is_empty() {
+            return None;
+        }
+        let mut sorted = counts.to_vec();
+        sorted.sort_unstable();
+        let mid = (sorted.len() - 1) / 2;
+        Some(DiversitySummary {
+            pairs: sorted.len() as u64,
+            min: sorted.first().copied().unwrap_or(0),
+            p50: sorted.get(mid).copied().unwrap_or(0),
+            max: sorted.last().copied().unwrap_or(0),
+        })
+    }
+}
+
+impl fmt::Display for DiversitySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min {} p50 {} max {}",
+            self.pairs, self.min, self.p50, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> NextHopDag {
+        // 0 -> {1, 2} -> 3: two edge-disjoint paths to dst 3.
+        NextHopDag {
+            dst: 3,
+            inject: vec![(0, 1.0)],
+            next_hops: [
+                (0usize, vec![(0usize, 1usize), (1, 2)]),
+                (1, vec![(2, 3)]),
+                (2, vec![(3, 3)]),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn diamond_has_two_disjoint_paths() {
+        let alive = vec![true; 4];
+        assert_eq!(edge_disjoint_paths(&diamond(), &alive, 0, 3), 2);
+    }
+
+    #[test]
+    fn dead_edge_halves_diversity() {
+        let mut alive = vec![true; 4];
+        alive[1] = false; // kill 0 -> 2
+        assert_eq!(edge_disjoint_paths(&diamond(), &alive, 0, 3), 1);
+    }
+
+    #[test]
+    fn shared_bottleneck_caps_flow() {
+        // 0 -> {1, 2} -> 3 -> 4: both branches merge into one edge.
+        let dag = NextHopDag {
+            dst: 4,
+            inject: vec![(0, 1.0)],
+            next_hops: [
+                (0usize, vec![(0usize, 1usize), (1, 2)]),
+                (1, vec![(2, 3)]),
+                (2, vec![(3, 3)]),
+                (3, vec![(4, 4)]),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        assert_eq!(edge_disjoint_paths(&dag, &vec![true; 5], 0, 4), 1);
+    }
+
+    #[test]
+    fn unreachable_is_zero() {
+        let alive = vec![false; 4];
+        assert_eq!(edge_disjoint_paths(&diamond(), &alive, 0, 3), 0);
+        assert_eq!(edge_disjoint_paths(&diamond(), &vec![true; 4], 3, 3), 0);
+    }
+
+    #[test]
+    fn summary_nearest_rank() {
+        assert_eq!(DiversitySummary::of(&[]), None);
+        let s = DiversitySummary::of(&[4, 1, 2, 8]).expect("non-empty");
+        assert_eq!(s.pairs, 4);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.p50, 2);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.to_string(), "n=4 min 1 p50 2 max 8");
+    }
+}

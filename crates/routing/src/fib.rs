@@ -268,15 +268,10 @@ impl Fib {
         self.lookup_addr(flow.dst, flow, &is_dead)
     }
 
-    fn lookup_addr(
-        &self,
-        dst: Ipv4Addr,
-        flow: &FlowKey,
-        is_dead: &impl Fn(LinkId) -> bool,
-    ) -> Option<NextHop> {
-        // Collect the chain of trie nodes matching dst, root to deepest.
-        // This is the per-packet path, so it must not heap-allocate: the
-        // chain lives in a fixed stack array (root + 32 bits of prefix).
+    /// Collects the chain of trie nodes matching `dst`, root to deepest.
+    /// This backs the per-packet path, so it must not heap-allocate: the
+    /// chain lives in a fixed stack array (root + 32 bits of prefix).
+    fn prefix_chain(&self, dst: Ipv4Addr) -> ([Option<&TrieNode>; 33], usize) {
         let bits = dst.to_u32();
         let mut chain: [Option<&TrieNode>; 33] = [None; 33];
         let mut len = 0usize;
@@ -298,6 +293,16 @@ impl Fib {
                 None => break,
             }
         }
+        (chain, len)
+    }
+
+    fn lookup_addr(
+        &self,
+        dst: Ipv4Addr,
+        flow: &FlowKey,
+        is_dead: &impl Fn(LinkId) -> bool,
+    ) -> Option<NextHop> {
+        let (chain, len) = self.prefix_chain(dst);
         // Longest prefix first; fall through when all next hops are dead.
         // ECMP selects among the live hops without materializing them:
         // count first, then take the selected one in a second pass.
@@ -316,6 +321,39 @@ impl Fib {
             }
         }
         None
+    }
+
+    /// The complete live ECMP next-hop set the FIB splits `dst`-bound
+    /// traffic over: the winning route under the exact [`Fib::lookup`]
+    /// semantics (longest prefix first, origin preference within a
+    /// prefix, fall-through past routes whose hops are all dead), with
+    /// its locally dead members pruned.
+    ///
+    /// Where [`Fib::lookup`] hash-selects a single member per flow, the
+    /// routing-quality metrics need every member — under ECMP a uniform
+    /// flow population splits equally across the live set, so this is
+    /// the per-destination next-hop DAG extraction seam. Not a per-packet
+    /// path: it allocates, and runs only when a FIB epoch is observed.
+    pub fn live_next_hops(
+        &self,
+        dst: Ipv4Addr,
+        is_dead: impl Fn(LinkId) -> bool,
+    ) -> Vec<NextHop> {
+        let (chain, len) = self.prefix_chain(dst);
+        for node in chain.iter().take(len).rev().flatten() {
+            for route in &node.routes {
+                let live: Vec<NextHop> = route
+                    .next_hops
+                    .iter()
+                    .filter(|h| !is_dead(h.link))
+                    .copied()
+                    .collect();
+                if !live.is_empty() {
+                    return live;
+                }
+            }
+        }
+        Vec::new()
     }
 
     /// Borrowing iterator over every installed route, in deterministic

@@ -29,7 +29,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use dcn_net::{FlowKey, LinkId, NodeId, Prefix};
+use dcn_net::{FlowKey, Ipv4Addr, LinkId, NodeId, Prefix};
 use dcn_sim::{timers, SimDuration, SimTime};
 
 use crate::engine::{SpfEngine, SpfEngineKind};
@@ -401,6 +401,16 @@ impl RouterProcess {
     /// locally dead interfaces pruned — the fast-reroute primitive).
     pub fn forward(&self, flow: &FlowKey) -> Option<NextHop> {
         self.fib.lookup(flow, |link| self.dead.contains(&link))
+    }
+
+    /// The full live ECMP next-hop set for `dst` — the winning route
+    /// under [`RouterProcess::forward`] semantics with dead members
+    /// pruned, all of them rather than one hash-selected member. This
+    /// is the next-hop-DAG seam for routing-quality metrics; it
+    /// allocates and is only called when a FIB epoch is observed.
+    pub fn live_next_hops(&self, dst: Ipv4Addr) -> Vec<NextHop> {
+        self.fib
+            .live_next_hops(dst, |link| self.dead.contains(&link))
     }
 }
 

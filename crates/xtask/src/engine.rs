@@ -29,6 +29,7 @@ pub const DETERMINISM_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/sweep/src",
     "crates/chaos/src",
+    "crates/metrics/src",
     "crates/xtask/src",
 ];
 
