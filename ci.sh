@@ -31,7 +31,13 @@
 # 9. the quality-observer gate: a fixed-seed campaign with `--quality`
 #    (per-FIB-epoch congestion scoring; see DESIGN.md §12) must render
 #    byte-identical traces on 1 and 4 workers — the fixed-point scores
-#    may not depend on scheduling.
+#    may not depend on scheduling,
+# 10. the parallelism-safety audit: `xtask audit` statically proves the
+#    sweep/chaos pipeline worker-count-invariant — every spawn site's
+#    capture set is reported, the JSON report is well-formed and
+#    byte-stable, and the gate fails on any unwaivered parallelism
+#    diagnostic (the only waivers live on the two blessed seams: the
+#    claim cursor and the ordered merge; see DESIGN.md §13).
 set -eu
 
 cd "$(dirname "$0")"
@@ -87,5 +93,12 @@ for workers in 1 4; do
         > "target/chaos-quality-w$workers.txt"
 done
 cmp target/chaos-quality-w1.txt target/chaos-quality-w4.txt
+
+echo "==> cargo run -p xtask -- audit (parallelism-safety: byte-stable report, then the gate)"
+cargo run -q --release -p xtask -- audit --format json > target/audit-1.json || true
+cargo run -q --release -p xtask -- audit --format json > target/audit-2.json || true
+cargo run -q --release -p xtask -- check-json target/audit-1.json
+cmp target/audit-1.json target/audit-2.json
+cargo run -q --release -p xtask -- audit
 
 echo "ci.sh: all gates passed"

@@ -81,27 +81,30 @@ impl CountingObserver {
 
     /// Cells completed so far.
     pub fn cells_completed(&self) -> usize {
-        self.cells.load(Ordering::Relaxed)
+        self.cells.load(Ordering::SeqCst)
     }
 
     /// Simulator events reported so far.
     pub fn sim_events(&self) -> u64 {
-        self.sim_events.load(Ordering::Relaxed)
+        self.sim_events.load(Ordering::SeqCst)
     }
 
     /// Sweeps completed so far.
     pub fn sweeps_completed(&self) -> usize {
-        self.sweeps.load(Ordering::Relaxed)
+        self.sweeps.load(Ordering::SeqCst)
     }
 }
 
+// SeqCst throughout: these counters are read a handful of times per
+// sweep, so ordering cost is noise, and sequential consistency keeps a
+// reader from ever seeing `sim_events` ahead of `cells`.
 impl SweepObserver for CountingObserver {
     fn cell_completed(&self, report: &CellReport) {
-        self.cells.fetch_add(1, Ordering::Relaxed);
-        self.sim_events.fetch_add(report.sim_events, Ordering::Relaxed);
+        self.cells.fetch_add(1, Ordering::SeqCst);
+        self.sim_events.fetch_add(report.sim_events, Ordering::SeqCst);
     }
 
     fn sweep_completed(&self, _summary: &SweepSummary) {
-        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.sweeps.fetch_add(1, Ordering::SeqCst);
     }
 }

@@ -36,10 +36,17 @@ where
         let mut collected: Vec<(usize, R, u64)> = Vec::with_capacity(total);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
+                // Blessed claim-cursor seam: workers share only the atomic
+                // cursor, which hands out each cell index exactly once.
+                // lint:allow(shared-mutable-capture)
                 .map(|_| scope.spawn(|| run_span(plan, observer, &run_cell, &cursor)))
                 .collect();
             for handle in handles {
                 match handle.join() {
+                    // Blessed ordered-merge seam: spans arrive in join
+                    // order, but every entry carries its cell index and
+                    // the sort below restores cell order.
+                    // lint:allow(unordered-reduction)
                     Ok(local) => collected.extend(local),
                     // Re-raise the first worker panic on the caller thread
                     // so a failing cell fails the sweep loudly.
@@ -80,6 +87,11 @@ where
     let total = plan.cells.len();
     let mut local = Vec::new();
     loop {
+        // Blessed claim-cursor idiom: Relaxed is enough because the only
+        // property used is fetch_add uniqueness — each index is claimed
+        // exactly once regardless of ordering, and results are re-sorted
+        // by index at the merge.
+        // lint:allow(relaxed-atomic)
         let index = cursor.fetch_add(1, Ordering::Relaxed);
         if index >= total {
             return local;

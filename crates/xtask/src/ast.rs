@@ -77,6 +77,9 @@ pub enum ItemKind {
     Static {
         name: String,
         init: Option<Expr>,
+        /// `static mut` — bare shared mutability, always a finding when
+        /// captured across a spawn boundary.
+        mutable: bool,
     },
     /// struct / enum / trait-with-no-fns / type alias / macro_rules /
     /// anything else we only skip over. `name` kept for debugging.
@@ -182,6 +185,8 @@ pub enum ExprKind {
     Closure {
         params: Vec<String>,
         body: Box<Expr>,
+        /// `move |...|` — captures by value rather than by reference.
+        is_move: bool,
     },
     /// `S { field: expr, .. }` — path retained, field initializers kept.
     Struct {

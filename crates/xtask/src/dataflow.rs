@@ -31,7 +31,24 @@ pub const T_WALL: u8 = 1 << 0;
 pub const T_HASH: u8 = 1 << 1;
 pub const T_ENTROPY: u8 = 1 << 2;
 pub const T_THREAD: u8 = 1 << 3;
-pub const T_ALL: u8 = T_WALL | T_HASH | T_ENTROPY | T_THREAD;
+/// Shared-mutable cell: `Mutex`/`RwLock`/`RefCell`/`Cell`/`Atomic*`/
+/// `OnceLock` constructor sighting (or a `static mut`). Not itself a
+/// determinism violation — it becomes one when it crosses a spawn
+/// boundary outside the blessed seams (see `crate::par`).
+pub const T_SHARED: u8 = 1 << 4;
+/// Seed provenance: the value derives from `cell_seed(master, index)`
+/// or `SimRng::fork`, so an RNG built from it owns a private per-cell
+/// stream and may legally cross a spawn boundary.
+pub const T_SEEDPROV: u8 = 1 << 5;
+/// The value is an RNG (constructor sighting, no type inference).
+pub const T_RNG: u8 = 1 << 6;
+/// The RNG's seed did *not* come through a provenance chain — two
+/// workers consuming it would draw order-dependent streams.
+pub const T_RNG_UNFORKED: u8 = 1 << 7;
+/// The nondeterminism bits the determinism-taint pack polices; the
+/// parallelism bits above are carriers for `crate::par`, not sinks.
+pub const T_NONDET: u8 = T_WALL | T_HASH | T_ENTROPY | T_THREAD;
+pub const T_ALL: u8 = T_NONDET;
 
 /// Human description of a taint set: "the wall clock + OS entropy".
 pub fn taint_kinds(t: u8) -> String {
@@ -84,6 +101,31 @@ pub fn token_rule_covers(q: &[String]) -> bool {
             | (Some("SystemTime"), "now")
             | (_, "thread_rng")
             | (Some("rand"), "random")
+    )
+}
+
+/// Does a qualified call path construct a shared-mutable cell? Pure
+/// constructor sighting: any segment naming an interior-mutability or
+/// lock type. (`Cell` is matched exactly; `Atomic` as a prefix covers
+/// the whole `AtomicUsize`/`AtomicU64`/`AtomicBool`/... family.)
+pub fn shared_ctor(q: &[String]) -> bool {
+    q.iter().any(|s| {
+        matches!(
+            s.as_str(),
+            "Mutex" | "RwLock" | "RefCell" | "Cell" | "UnsafeCell" | "OnceLock" | "OnceCell"
+        ) || s.starts_with("Atomic")
+    })
+}
+
+/// Is `owner::name` one of the workspace RNG constructors? (The same
+/// set the `rng-stream` pack polices for literal seeds.)
+pub fn rng_ctor(owner: &str, name: &str) -> bool {
+    matches!(
+        (owner, name),
+        ("SimRng", "new")
+            | ("DetRng", "seed_from_u64")
+            | ("DetRng", "for_stream")
+            | ("DetRng", "stream_seed")
     )
 }
 
@@ -205,6 +247,34 @@ impl<'a> Evaluator<'a> {
         tail.taint | ctx.ret
     }
 
+    /// Final taint of every local binding of function `id`, evaluated
+    /// with clean parameters. The spawn-site capture analysis reads the
+    /// shared-mutability and RNG-provenance bits from here; closure-local
+    /// `let`s land in the same flat map (the capture analysis subtracts
+    /// closure-bound names itself).
+    pub fn local_taints(&self, id: usize) -> BTreeMap<String, u8> {
+        let mut env = BTreeMap::new();
+        let Some(decl) = self.table.fns.get(id) else {
+            return env;
+        };
+        let Some(body) = &decl.item.body else {
+            return env;
+        };
+        let mut ctx = EvalCtx {
+            env: BTreeMap::new(),
+            ret: 0,
+            file_idx: decl.file_idx,
+        };
+        for p in &decl.item.params {
+            ctx.env.insert(p.clone(), Val::default());
+        }
+        let _ = self.eval_block(body, &mut ctx);
+        for (name, val) in ctx.env {
+            env.insert(name, val.taint);
+        }
+        env
+    }
+
     /// Summary for an already-resolved callee set, unioned.
     pub fn callee_summary(&self, candidates: &[usize]) -> Summary {
         let mut s = Summary::default();
@@ -288,19 +358,54 @@ impl<'a> Evaluator<'a> {
                             hash: false,
                         };
                     }
+                    let last = q.last().map(String::as_str).unwrap_or("");
+                    let owner = q
+                        .len()
+                        .checked_sub(2)
+                        .and_then(|i| q.get(i))
+                        .map(String::as_str)
+                        .unwrap_or("");
+                    // Seed-provenance intrinsics: `cell_seed` derives a
+                    // per-cell seed, `cell_rng` a per-cell RNG. These
+                    // override the workspace summaries of the real
+                    // functions (whose bodies are just bit mixing).
+                    if last == "cell_seed" {
+                        return Val {
+                            taint: argv.taint | T_SEEDPROV,
+                            hash: false,
+                        };
+                    }
+                    if last == "cell_rng" {
+                        return Val {
+                            taint: argv.taint | T_RNG | T_SEEDPROV,
+                            hash: false,
+                        };
+                    }
+                    // RNG constructors: forked iff the seed argument
+                    // carries provenance.
+                    if rng_ctor(owner, last) {
+                        let forked = argv.taint & T_SEEDPROV != 0;
+                        return Val {
+                            taint: argv.taint
+                                | T_RNG
+                                | if forked { 0 } else { T_RNG_UNFORKED },
+                            hash: false,
+                        };
+                    }
                     let is_hash_ctor = q.iter().any(|s| s == "HashMap" || s == "HashSet");
+                    let shared = if shared_ctor(&q) { T_SHARED } else { 0 };
                     let candidates = self.table.resolve_call(&q);
                     if candidates.is_empty() {
                         // Unknown callee: conservatively propagate args.
                         return Val {
-                            taint: argv.taint,
+                            taint: argv.taint | shared,
                             hash: is_hash_ctor,
                         };
                     }
                     let s = self.callee_summary(candidates);
                     let t = s.ret_always | if s.propagates { argv.taint } else { 0 };
                     return Val {
-                        taint: t,
+                        taint: t | shared,
                         hash: is_hash_ctor,
                     };
                 }
@@ -318,6 +423,15 @@ impl<'a> Evaluator<'a> {
                     if !self.source_waived(ctx.file_idx, e.span.line) {
                         taint |= T_HASH;
                     }
+                }
+                // `SimRng::fork` is the blessed stream-derivation seam:
+                // the result is a forked RNG regardless of what the
+                // workspace summary of `fork` computes from its body.
+                if method == "fork" {
+                    return Val {
+                        taint: (taint & !T_RNG_UNFORKED) | T_RNG | T_SEEDPROV,
+                        hash: false,
+                    };
                 }
                 let s = self.callee_summary(self.table.resolve_method(method));
                 taint |= s.ret_always;

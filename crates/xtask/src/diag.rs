@@ -41,6 +41,12 @@ pub const RULE_CLONE_HOT_PATH: &str = "clone-in-hot-path";
 pub const RULE_MAP_SCAN: &str = "map-scan-per-event";
 pub const RULE_FULL_RECOMPUTE: &str = "full-recompute-in-event-context";
 
+/// Parallelism-safety rule packs (spawn-site capture analysis).
+pub const RULE_SHARED_MUTABLE_CAPTURE: &str = "shared-mutable-capture";
+pub const RULE_RELAXED_ATOMIC: &str = "relaxed-atomic";
+pub const RULE_UNFORKED_RNG: &str = "unforked-rng-spawn";
+pub const RULE_UNORDERED_REDUCTION: &str = "unordered-reduction";
+
 /// Every rule the analyzer can emit, in canonical order.
 pub const ALL_RULES: &[&str] = &[
     RULE_ALLOC_HOT_LOOP,
@@ -51,9 +57,21 @@ pub const ALL_RULES: &[&str] = &[
     RULE_MAP_SCAN,
     RULE_PANIC_INDEXING,
     RULE_PANIC_SAFETY,
+    RULE_RELAXED_ATOMIC,
     RULE_RNG_STREAM,
+    RULE_SHARED_MUTABLE_CAPTURE,
     RULE_TIMER_CONSTANTS,
     RULE_TIMER_PROVENANCE,
+    RULE_UNFORKED_RNG,
+    RULE_UNORDERED_REDUCTION,
+];
+
+/// The parallelism-safety subset: what `xtask audit` reports on.
+pub const PAR_RULES: &[&str] = &[
+    RULE_RELAXED_ATOMIC,
+    RULE_SHARED_MUTABLE_CAPTURE,
+    RULE_UNFORKED_RNG,
+    RULE_UNORDERED_REDUCTION,
 ];
 
 /// One finding, after inline-waiver filtering but before allowlist
@@ -114,10 +132,21 @@ pub fn render_json(files_checked: usize, diags: &[Diagnostic], ok: bool) -> Stri
     let _ = writeln!(out, "  \"version\": 1,");
     let _ = writeln!(out, "  \"ok\": {ok},");
     let _ = writeln!(out, "  \"files_checked\": {files_checked},");
-    // Per-rule totals, canonical rule order, only non-zero entries.
+    write_totals(&mut out, diags, ALL_RULES);
+    write_diagnostics_array(&mut out, diags);
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Writes the `"totals": {...},` line: per-rule counts in `rules`
+/// order, only non-zero entries.
+pub fn write_totals(out: &mut String, diags: &[Diagnostic], rules: &[&str]) {
     out.push_str("  \"totals\": {");
     let mut first = true;
-    for rule in ALL_RULES {
+    for rule in rules {
         let n = diags.iter().filter(|d| d.rule == *rule).count();
         if n == 0 {
             continue;
@@ -129,6 +158,11 @@ pub fn render_json(files_checked: usize, diags: &[Diagnostic], ok: bool) -> Stri
         let _ = write!(out, "\"{rule}\": {n}");
     }
     out.push_str("},\n");
+}
+
+/// Writes `"diagnostics": [` plus one object per diagnostic — the
+/// caller closes the array (so it controls trailing whitespace).
+pub fn write_diagnostics_array(out: &mut String, diags: &[Diagnostic]) {
     out.push_str("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
@@ -147,11 +181,6 @@ pub fn render_json(files_checked: usize, diags: &[Diagnostic], ok: bool) -> Stri
         );
         out.push('}');
     }
-    if !diags.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("]\n}\n");
-    out
 }
 
 /// Escapes a string for JSON output.
@@ -328,14 +357,110 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              setup paths (bootstrap, topology construction) are not\n\
              flagged — they are not hot-reachable.",
         ),
+        RULE_SHARED_MUTABLE_CAPTURE => Some(
+            "shared-mutable-capture (parallelism rule)\n\
+             \n\
+             Flags worker closures (`scope.spawn`/`thread::spawn`) that\n\
+             capture a binding reaching shared-mutable state — a `Mutex`,\n\
+             `RwLock`, `RefCell`, `Cell`, `Atomic*`, `OnceLock` constructor\n\
+             sighting or a `static mut`. Shared state crossing a spawn\n\
+             boundary is exactly where worker-count invariance breaks: the\n\
+             sweep contract is that `--workers N` changes wall time only,\n\
+             never results. The two blessed seams — the claim cursor that\n\
+             hands out cell indices and the order-preserving merge — are\n\
+             waived inline with a justification; everything else should\n\
+             hand each worker its own slot and merge by index. Run\n\
+             `cargo run -p xtask -- audit` for the per-site capture sets.",
+        ),
+        RULE_RELAXED_ATOMIC => Some(
+            "relaxed-atomic (parallelism rule)\n\
+             \n\
+             Flags `Ordering::Relaxed` in the determinism scope, and\n\
+             `Ordering::AcqRel` passed to `load`/`store` (which aborts at\n\
+             runtime). Relaxed operations impose no cross-thread ordering,\n\
+             so any value observed through them can differ run-to-run under\n\
+             contention. The one blessed idiom is the sweep claim cursor:\n\
+             `fetch_add(1, Ordering::Relaxed)` is safe there because the\n\
+             returned index is unique regardless of ordering and results\n\
+             are re-sorted by index at the merge — that site carries an\n\
+             inline waiver saying so. Observability counters should use\n\
+             `SeqCst`: they are read once per cell, ordering cost is noise.",
+        ),
+        RULE_UNFORKED_RNG => Some(
+            "unforked-rng-spawn (parallelism rule)\n\
+             \n\
+             Flags worker closures capturing an RNG whose stream did not\n\
+             come through the blessed provenance chain —\n\
+             `cell_seed(master_seed, cell_index)` or `SimRng::fork`. An\n\
+             unforked RNG crossing a spawn boundary makes draws depend on\n\
+             which worker claims which cell and in what interleaving, so\n\
+             results change with `--workers N`. Derive the stream per cell\n\
+             inside the worker (`cell_rng`/`cell_seed`) instead of sharing\n\
+             or moving a master RNG across the boundary. The capture table\n\
+             in `cargo run -p xtask -- audit` shows each captured RNG as\n\
+             `forked` or `unforked`.",
+        ),
+        RULE_UNORDERED_REDUCTION => Some(
+            "unordered-reduction (parallelism rule)\n\
+             \n\
+             Flags mutations of captured bindings inside a parallel region\n\
+             — `.push(..)`, `.extend(..)`, `.insert(..)`, assignments —\n\
+             which accumulate in completion order, not cell order. Worker\n\
+             completion order depends on scheduling, so any\n\
+             order-sensitive reduction breaks worker-count invariance and\n\
+             run-to-run determinism at once. Accumulate into a per-worker\n\
+             buffer tagged with the cell index and merge by index after\n\
+             the join instead. The sweep pool's merge does exactly that\n\
+             (joins, then `sort_by_key(index)`) and carries the one\n\
+             blessed inline waiver.",
+        ),
         _ => None,
     }
 }
 
-/// The error text for `--explain` with an unknown rule: names the rule
-/// and lists every known rule, one per line.
+/// Case-insensitive Levenshtein distance, two-row formulation (same
+/// technique as `dcn_chaos::repro`).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        if let Some(slot) = cur.first_mut() {
+            *slot = i + 1;
+        }
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev.get(j).copied().unwrap_or(0) + usize::from(ca != cb);
+            let del = prev.get(j + 1).copied().unwrap_or(0) + 1;
+            let ins = cur.get(j).copied().unwrap_or(0) + 1;
+            if let Some(slot) = cur.get_mut(j + 1) {
+                *slot = sub.min(del).min(ins);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev.last().copied().unwrap_or(0)
+}
+
+/// The closest known rule within edit distance 2, for did-you-mean.
+pub fn nearest_rule(rule: &str) -> Option<&'static str> {
+    ALL_RULES
+        .iter()
+        .map(|r| (levenshtein(rule, r), *r))
+        .filter(|&(d, _)| d <= 2)
+        .min()
+        .map(|(_, r)| r)
+}
+
+/// The error text for `--explain` with an unknown rule: names the rule,
+/// suggests the nearest known rule when one is close enough, and lists
+/// every known rule, one per line.
 pub fn unknown_rule_message(rule: &str) -> String {
-    let mut out = format!("unknown rule `{rule}`; known rules:\n");
+    let mut out = format!("unknown rule `{rule}`");
+    if let Some(near) = nearest_rule(rule) {
+        let _ = write!(out, " (did you mean `{near}`?)");
+    }
+    out.push_str("; known rules:\n");
     for r in ALL_RULES {
         let _ = writeln!(out, "  {r}");
     }
@@ -386,6 +511,28 @@ mod tests {
         assert!(msg.contains("unknown rule `no-such-rule`"), "{msg}");
         for rule in ALL_RULES {
             assert!(msg.contains(rule), "missing {rule} in: {msg}");
+        }
+    }
+
+    #[test]
+    fn did_you_mean_suggests_the_nearest_rule() {
+        assert_eq!(nearest_rule("determinsm"), Some(RULE_DETERMINISM));
+        assert_eq!(nearest_rule("Relaxed-Atomic"), Some(RULE_RELAXED_ATOMIC));
+        assert_eq!(nearest_rule("unordered-reductio"), Some(RULE_UNORDERED_REDUCTION));
+        // Distance 3+ stays silent rather than guessing.
+        assert_eq!(nearest_rule("zzz"), None);
+        let msg = unknown_rule_message("determinsm");
+        assert!(msg.contains("did you mean `determinism`?"), "{msg}");
+        assert!(
+            !unknown_rule_message("no-such-rule-at-all").contains("did you mean"),
+            "far-off typos must not get a suggestion"
+        );
+    }
+
+    #[test]
+    fn par_rules_are_a_subset_of_all_rules() {
+        for rule in PAR_RULES {
+            assert!(ALL_RULES.contains(rule), "{rule} missing from ALL_RULES");
         }
     }
 }

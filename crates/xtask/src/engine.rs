@@ -8,10 +8,13 @@ use std::path::Path;
 use crate::allowlist::Allowlist;
 use crate::dataflow::Evaluator;
 use crate::diag::{
-    sort_diagnostics, Diagnostic, RULE_ALLOC_HOT_LOOP, RULE_CLONE_HOT_PATH,
+    sort_diagnostics, Diagnostic, PAR_RULES, RULE_ALLOC_HOT_LOOP, RULE_CLONE_HOT_PATH,
     RULE_FULL_RECOMPUTE, RULE_MAP_SCAN, RULE_PANIC_INDEXING, RULE_PANIC_SAFETY,
+    RULE_RELAXED_ATOMIC, RULE_SHARED_MUTABLE_CAPTURE, RULE_UNFORKED_RNG,
+    RULE_UNORDERED_REDUCTION,
 };
 use crate::packs::{filter_waived, PackConfig, Packs};
+use crate::par::SiteSummary;
 use crate::parser::parse_file;
 use crate::reach::{self, HotRoots};
 use crate::resolve::{CrateMap, FnTable, SourceFile};
@@ -59,6 +62,10 @@ pub const RATCHET_RULES: &[&str] = &[
     RULE_CLONE_HOT_PATH,
     RULE_MAP_SCAN,
     RULE_FULL_RECOMPUTE,
+    RULE_RELAXED_ATOMIC,
+    RULE_SHARED_MUTABLE_CAPTURE,
+    RULE_UNFORKED_RNG,
+    RULE_UNORDERED_REDUCTION,
 ];
 
 /// Which token-rule families apply to a file (decided from its path).
@@ -93,6 +100,9 @@ pub struct Analysis {
     pub ok: bool,
     /// Observed ratchet-rule counts, for `--update-allowlist`.
     pub observed: Allowlist,
+    /// Every spawn site in the determinism scope with its capture set,
+    /// sorted by (file, line, column) — the `xtask audit` report body.
+    pub spawn_sites: Vec<SiteSummary>,
 }
 
 /// Runs the full analysis over the workspace rooted at `root`.
@@ -142,6 +152,15 @@ pub fn analyze(root: &Path, allowlist: &Allowlist) -> Result<Analysis, String> {
     pack_diags.extend(packs.rng_stream());
     pack_diags.extend(packs.timer_provenance());
     pack_diags.extend(packs.panic_indexing());
+
+    // Parallelism-safety packs: spawn-site capture analysis.
+    let sites = packs.spawn_sites();
+    pack_diags.extend(packs.shared_mutable_capture(&sites));
+    pack_diags.extend(packs.unforked_rng_spawn(&sites));
+    pack_diags.extend(packs.unordered_reduction(&sites));
+    pack_diags.extend(packs.relaxed_atomic());
+    let spawn_sites = crate::par::summarize(&sites);
+    drop(sites);
 
     // Perf packs run only when the tree declares hot roots; a root
     // naming an unknown function is a hard error (a stale root is a
@@ -235,5 +254,52 @@ pub fn analyze(root: &Path, allowlist: &Allowlist) -> Result<Analysis, String> {
         stale,
         ok,
         observed,
+        spawn_sites,
     })
+}
+
+/// The `xtask audit` view of an analysis: the spawn-site table plus
+/// only the parallelism diagnostics and budget mismatches. `ok` here is
+/// the audit gate — every parallelism finding budgeted or waived, no
+/// over/stale parallelism budgets — independent of whatever other rules
+/// report.
+pub struct AuditReport {
+    pub files_checked: usize,
+    pub spawn_sites: Vec<SiteSummary>,
+    pub diagnostics: Vec<Diagnostic>,
+    pub over: Vec<BudgetMismatch>,
+    pub stale: Vec<BudgetMismatch>,
+    pub ok: bool,
+}
+
+/// Projects a full analysis down to the parallelism-safety audit.
+pub fn audit_view(analysis: &Analysis) -> AuditReport {
+    let par_rule = |rule: &str| PAR_RULES.contains(&rule);
+    let diagnostics: Vec<Diagnostic> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| par_rule(d.rule))
+        .cloned()
+        .collect();
+    let over: Vec<BudgetMismatch> = analysis
+        .over
+        .iter()
+        .filter(|m| par_rule(&m.rule))
+        .cloned()
+        .collect();
+    let stale: Vec<BudgetMismatch> = analysis
+        .stale
+        .iter()
+        .filter(|m| par_rule(&m.rule))
+        .cloned()
+        .collect();
+    let ok = diagnostics.iter().all(|d| d.allowed) && over.is_empty() && stale.is_empty();
+    AuditReport {
+        files_checked: analysis.files_checked,
+        spawn_sites: analysis.spawn_sites.clone(),
+        diagnostics,
+        over,
+        stale,
+        ok,
+    }
 }

@@ -4,9 +4,11 @@
 //! Pipeline: [`lexer`] (tokens + positions + waivers) → [`parser`]
 //! (lightweight AST) → [`resolve`] (crate map, `use` maps, function
 //! table) → [`dataflow`] (taint summaries to a fixpoint) → token rules
-//! ([`rules`]) and semantic packs ([`packs`]) → [`engine`] (allowlist
-//! ratchet, deterministic report). [`diag`] defines diagnostics and the
-//! byte-stable JSON rendering; [`jsonchk`] validates JSON output in CI.
+//! ([`rules`]) and semantic packs ([`packs`], including the
+//! parallelism-safety packs built on the spawn-site model in [`par`])
+//! → [`engine`] (allowlist ratchet, deterministic report). [`diag`]
+//! defines diagnostics and the byte-stable JSON rendering; [`jsonchk`]
+//! validates JSON output in CI.
 //!
 //! Exposed as a library so integration tests can run the engine over
 //! fixture crate trees (see `tests/golden_json.rs`).
@@ -19,6 +21,7 @@ pub mod engine;
 pub mod jsonchk;
 pub mod lexer;
 pub mod packs;
+pub mod par;
 pub mod parser;
 pub mod reach;
 pub mod resolve;

@@ -9,6 +9,11 @@
 //!   `--explain` prints the rationale and fix guidance for one rule;
 //!   `--update-allowlist` regenerates the ratchet budgets in
 //!   `crates/xtask/lint-allow.toml` from observed counts.
+//! - `audit [--format text|json] [--explain <RULE>]` runs the same
+//!   engine but reports the parallelism-safety view: every
+//!   `thread::scope`/`spawn` site in the determinism scope with its
+//!   capture set (mode, shared-state reachability, RNG provenance)
+//!   plus the parallelism diagnostics. The JSON report is byte-stable.
 //! - `check-json <file>` validates that a file parses as JSON (used by
 //!   CI to assert the lint report is well-formed without jq/python).
 //! - `check-bench <file>` validates a `BENCH_fig4.json` produced by
@@ -30,6 +35,7 @@ const ALLOWLIST_REL: &str = "crates/xtask/lint-allow.toml";
 const USAGE: &str = "usage: cargo run -p xtask -- <command>\n\
 commands:\n  \
   lint [--format text|json] [--update-allowlist] [--explain <RULE>]\n  \
+  audit [--format text|json] [--explain <RULE>]\n  \
   check-json <file>\n  \
   check-bench <file>";
 
@@ -89,6 +95,54 @@ fn main() -> ExitCode {
                 Ok(false) => ExitCode::FAILURE,
                 Err(err) => {
                     eprintln!("xtask lint: {err}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("audit") => {
+            let mut format = Format::Text;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--format" => match it.next() {
+                        Some("text") => format = Format::Text,
+                        Some("json") => format = Format::Json,
+                        other => {
+                            eprintln!(
+                                "--format takes `text` or `json`, got {}",
+                                other.unwrap_or("nothing")
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--explain" => {
+                        return match it.next() {
+                            Some(rule) => match diag::explain(rule) {
+                                Some(text) => {
+                                    println!("{text}");
+                                    ExitCode::SUCCESS
+                                }
+                                None => {
+                                    eprintln!("{}", diag::unknown_rule_message(rule));
+                                    ExitCode::from(2)
+                                }
+                            },
+                            None => {
+                                eprintln!("--explain takes a rule name");
+                                ExitCode::from(2)
+                            }
+                        };
+                    }
+                    other => {
+                        eprintln!("unknown audit option: {other}\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            match run_audit(format) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(err) => {
+                    eprintln!("xtask audit: {err}");
                     ExitCode::from(2)
                 }
             }
@@ -191,6 +245,94 @@ fn run_lint(update_allowlist: bool, format: Format) -> Result<bool, String> {
         Format::Text => report_text(&analysis, &allowlist),
     }
     Ok(analysis.ok)
+}
+
+fn run_audit(format: Format) -> Result<bool, String> {
+    let root = workspace_root()?;
+    let allowlist = load_allowlist(&root.join(ALLOWLIST_REL))?;
+    let analysis = engine::analyze(&root, &allowlist)?;
+    let audit = engine::audit_view(&analysis);
+
+    match format {
+        Format::Json => {
+            print!(
+                "{}",
+                xtask::par::render_audit_json(
+                    audit.files_checked,
+                    &audit.spawn_sites,
+                    &audit.diagnostics,
+                    audit.ok
+                )
+            );
+        }
+        Format::Text => report_audit_text(&audit),
+    }
+    Ok(audit.ok)
+}
+
+fn report_audit_text(audit: &engine::AuditReport) {
+    for s in &audit.spawn_sites {
+        let captures: Vec<String> = s
+            .captures
+            .iter()
+            .map(|c| {
+                let mut extra = Vec::new();
+                if c.shared {
+                    extra.push("shared".to_string());
+                }
+                if c.rng != "none" {
+                    extra.push(format!("rng:{}", c.rng));
+                }
+                if extra.is_empty() {
+                    format!("{} ({})", c.name, c.mode)
+                } else {
+                    format!("{} ({}, {})", c.name, c.mode, extra.join(", "))
+                }
+            })
+            .collect();
+        println!(
+            "{}:{}:{}: [{}] in `{}` captures: {}",
+            s.file,
+            s.span.line,
+            s.span.col,
+            s.kind,
+            s.function,
+            if captures.is_empty() { "none".to_string() } else { captures.join(", ") },
+        );
+    }
+    for d in &audit.diagnostics {
+        if !d.allowed {
+            println!("{}", render_text(d));
+        }
+    }
+    for m in &audit.over {
+        println!(
+            "{}: [{}] {} finding(s) exceed the allowlisted budget of {}",
+            m.file, m.rule, m.actual, m.budget
+        );
+    }
+    for m in &audit.stale {
+        println!(
+            "{}: [{}] stale budget: {} allowed but only {} found — run \
+             `cargo run -p xtask -- lint --update-allowlist` to ratchet down",
+            m.file, m.rule, m.budget, m.actual
+        );
+    }
+    println!(
+        "xtask audit: {} files; {} spawn site(s); {} parallelism finding(s)",
+        audit.files_checked,
+        audit.spawn_sites.len(),
+        audit.diagnostics.len(),
+    );
+    if audit.ok {
+        println!("xtask audit: OK");
+    } else {
+        println!(
+            "xtask audit: FAILED (fix the parallel region, add an inline \
+             `// lint:allow(<rule>)` waiver naming the blessed seam, or ratchet \
+             lint-allow.toml; see `lint --explain <rule>`)"
+        );
+    }
 }
 
 fn report_text(analysis: &Analysis, allowlist: &Allowlist) {

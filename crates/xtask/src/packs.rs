@@ -1,5 +1,7 @@
 //! The semantic rule packs: determinism-taint, rng-stream,
-//! timer-provenance, panic-indexing.
+//! timer-provenance, panic-indexing, the hot-path perf rules and the
+//! parallelism-safety rules (spawn-site capture analysis via
+//! [`crate::par`]).
 //!
 //! Each pack walks the function table produced by [`crate::resolve`]
 //! (plus `const`/`static` initializers where values can hide) and emits
@@ -9,12 +11,16 @@
 use std::collections::BTreeMap;
 
 use crate::ast::{Block, Expr, ExprKind, Stmt};
-use crate::dataflow::{intrinsic_source, taint_kinds, token_rule_covers, Evaluator};
+use crate::dataflow::{
+    intrinsic_source, taint_kinds, token_rule_covers, Evaluator, T_NONDET,
+};
 use crate::diag::{
     Diagnostic, RULE_ALLOC_HOT_LOOP, RULE_CLONE_HOT_PATH, RULE_DETERMINISM_TAINT,
-    RULE_FULL_RECOMPUTE, RULE_MAP_SCAN, RULE_PANIC_INDEXING, RULE_RNG_STREAM,
-    RULE_TIMER_PROVENANCE,
+    RULE_FULL_RECOMPUTE, RULE_MAP_SCAN, RULE_PANIC_INDEXING, RULE_RELAXED_ATOMIC,
+    RULE_RNG_STREAM, RULE_SHARED_MUTABLE_CAPTURE, RULE_TIMER_PROVENANCE,
+    RULE_UNFORKED_RNG, RULE_UNORDERED_REDUCTION,
 };
+use crate::par::{RngProvenance, SpawnKind, SpawnSite};
 use crate::reach::Reachability;
 use crate::resolve::{CrateMap, FnTable, SourceFile};
 
@@ -138,7 +144,11 @@ impl<'a> Packs<'a> {
                         return;
                     }
                     let s = self.eval.callee_summary(self.table.resolve_call(&q));
-                    if s.ret_always != 0 {
+                    // Mask to the nondeterminism bits: the parallelism
+                    // carrier bits (shared-mutability, RNG provenance)
+                    // are policed by the spawn-site packs, not here.
+                    let t = s.ret_always & T_NONDET;
+                    if t != 0 {
                         out.push(Diagnostic::new(
                             self.rel(file_idx),
                             e.span,
@@ -149,7 +159,7 @@ impl<'a> Packs<'a> {
                                  (waive at the source with \
                                  `// lint:allow(determinism-taint)` if it never \
                                  reaches results)",
-                                taint_kinds(s.ret_always)
+                                taint_kinds(t)
                             ),
                         ));
                     }
@@ -158,7 +168,8 @@ impl<'a> Packs<'a> {
                     let s = self
                         .eval
                         .callee_summary(self.table.resolve_method(method));
-                    if s.ret_always != 0 {
+                    let t = s.ret_always & T_NONDET;
+                    if t != 0 {
                         out.push(Diagnostic::new(
                             self.rel(file_idx),
                             e.span,
@@ -166,7 +177,7 @@ impl<'a> Packs<'a> {
                             format!(
                                 "call to `.{method}()` returns a value derived from \
                                  {}; deterministic simulation code must not consume it",
-                                taint_kinds(s.ret_always)
+                                taint_kinds(t)
                             ),
                         ));
                     }
@@ -577,6 +588,221 @@ impl<'a> Packs<'a> {
         );
         out
     }
+
+    // --- pack 5: parallelism safety (spawn-site capture analysis) -------
+
+    /// Discovers every spawn site in the determinism scope with its
+    /// capture set; input for the three site-based packs below and the
+    /// `xtask audit` report.
+    pub fn spawn_sites(&self) -> Vec<SpawnSite<'a>> {
+        crate::par::collect_spawn_sites(self.files, self.table, self.eval, &|rel| {
+            self.cfg.in_determinism_scope(rel)
+        })
+    }
+
+    /// Worker closures capturing shared-mutable state: the spawn
+    /// boundary is exactly where worker-count invariance breaks.
+    pub fn shared_mutable_capture(&self, sites: &[SpawnSite<'_>]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for site in sites {
+            if site.kind != SpawnKind::Spawn {
+                continue;
+            }
+            for c in &site.captures {
+                if !c.shared {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &site.file,
+                    site.span,
+                    RULE_SHARED_MUTABLE_CAPTURE,
+                    format!(
+                        "worker closure in `{}` captures shared-mutable `{}`; shared \
+                         state crossing a spawn boundary breaks worker-count \
+                         invariance — hand each worker its own slot and merge by \
+                         index, or waive here if this is a blessed seam (claim \
+                         cursor / ordered merge)",
+                        site.function, c.name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Worker closures capturing an RNG without `cell_seed`/`fork`
+    /// provenance: draws become interleaving-dependent.
+    pub fn unforked_rng_spawn(&self, sites: &[SpawnSite<'_>]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for site in sites {
+            if site.kind != SpawnKind::Spawn {
+                continue;
+            }
+            for c in &site.captures {
+                if c.rng != RngProvenance::Unforked {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &site.file,
+                    site.span,
+                    RULE_UNFORKED_RNG,
+                    format!(
+                        "RNG `{}` crosses the spawn boundary in `{}` without \
+                         `cell_seed`/`SimRng::fork` provenance; workers would draw \
+                         interleaving-dependent streams — derive the stream per \
+                         cell inside the worker instead",
+                        c.name, site.function
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Mutations of captured bindings inside any parallel region
+    /// (worker closures and the scope closure itself): they accumulate
+    /// in completion order, not cell order.
+    pub fn unordered_reduction(&self, sites: &[SpawnSite<'_>]) -> Vec<Diagnostic> {
+        const MUTATING: &[&str] = &[
+            "append",
+            "clear",
+            "drain",
+            "extend",
+            "extend_from_slice",
+            "insert",
+            "pop",
+            "push",
+            "push_str",
+            "remove",
+            "retain",
+            "sort",
+            "sort_by",
+            "sort_by_key",
+            "sort_unstable",
+            "swap",
+            "truncate",
+        ];
+        let mut out = Vec::new();
+        for site in sites {
+            let captured: std::collections::BTreeSet<&str> =
+                site.captures.iter().map(|c| c.name.as_str()).collect();
+            site.closure.walk(&mut |e| match &e.kind {
+                ExprKind::MethodCall { recv, method, .. }
+                    if MUTATING.contains(&method.as_str()) =>
+                {
+                    let Some(name) = single_name(recv) else { return };
+                    if captured.contains(name) {
+                        out.push(Diagnostic::new(
+                            &site.file,
+                            e.span,
+                            RULE_UNORDERED_REDUCTION,
+                            format!(
+                                "`.{method}()` on captured `{name}` inside a parallel \
+                                 region accumulates in completion order, not cell \
+                                 order; collect into a per-worker buffer and merge by \
+                                 index, or waive here if this is the blessed \
+                                 ordered-merge seam"
+                            ),
+                        ));
+                    }
+                }
+                ExprKind::Assign { place, .. } => {
+                    let name = match &place.kind {
+                        ExprKind::Index { recv, .. } => single_name(recv),
+                        _ => single_name(place),
+                    };
+                    let Some(name) = name else { return };
+                    if captured.contains(name) {
+                        out.push(Diagnostic::new(
+                            &site.file,
+                            e.span,
+                            RULE_UNORDERED_REDUCTION,
+                            format!(
+                                "assignment to captured `{name}` inside a parallel \
+                                 region is scheduling-order-dependent; give each \
+                                 worker its own slot and merge by index after the \
+                                 join"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            });
+        }
+        // A mutation inside a worker closure is walked once for the
+        // worker site and once for the enclosing scope site; the
+        // duplicates are exact, so they collapse here.
+        crate::diag::sort_diagnostics(&mut out);
+        out.dedup();
+        out
+    }
+
+    /// `Ordering::Relaxed` anywhere in the determinism scope, plus
+    /// `Ordering::AcqRel` on `load`/`store` (a runtime abort).
+    pub fn relaxed_atomic(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk_scope(
+            |rel| self.cfg.in_determinism_scope(rel),
+            |file_idx, e| match &e.kind {
+                ExprKind::Path(p) => {
+                    if path_ends(p, "Ordering", "Relaxed") {
+                        out.push(Diagnostic::new(
+                            self.rel(file_idx),
+                            e.span,
+                            RULE_RELAXED_ATOMIC,
+                            "`Ordering::Relaxed` imposes no cross-thread ordering, so \
+                             observed values can differ run-to-run; use \
+                             `Ordering::SeqCst` (counters off the hot path cost \
+                             nothing), or waive here if this is the blessed \
+                             claim-cursor idiom"
+                                .to_string(),
+                        ));
+                    }
+                }
+                ExprKind::MethodCall { method, args, .. }
+                    if method == "load" || method == "store" =>
+                {
+                    for a in args {
+                        let Some(p) = a.as_path() else { continue };
+                        if path_ends(p, "Ordering", "AcqRel") {
+                            out.push(Diagnostic::new(
+                                self.rel(file_idx),
+                                a.span,
+                                RULE_RELAXED_ATOMIC,
+                                format!(
+                                    "`Ordering::AcqRel` passed to `{method}` aborts at \
+                                     runtime; use `Acquire`, `Release` or `SeqCst`"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            },
+        );
+        out
+    }
+}
+
+/// The single identifier when the expression is a bare one-segment path
+/// (through references: `&x` / `*x`).
+fn single_name(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Path(p) if p.len() == 1 => p.first().map(String::as_str),
+        ExprKind::Unary(inner) | ExprKind::Ref(inner) => single_name(inner),
+        _ => None,
+    }
+}
+
+/// Does the path end with the segments `a::b`?
+fn path_ends(p: &[String], a: &str, b: &str) -> bool {
+    let last_is_b = p.last().is_some_and(|s| s == b);
+    let prev_is_a = p
+        .len()
+        .checked_sub(2)
+        .and_then(|i| p.get(i))
+        .is_some_and(|s| s == a);
+    last_is_b && prev_is_a
 }
 
 /// Time unit inferred from naming/accessor conventions.
@@ -866,6 +1092,10 @@ mod tests {
             "clone" => packs.clone_in_hot_path(&reach()),
             "scan" => packs.map_scan_per_event(&reach()),
             "recompute" => packs.full_recompute_in_event_context(&reach()),
+            "shared" => packs.shared_mutable_capture(&packs.spawn_sites()),
+            "unforked" => packs.unforked_rng_spawn(&packs.spawn_sites()),
+            "reduction" => packs.unordered_reduction(&packs.spawn_sites()),
+            "relaxed" => packs.relaxed_atomic(),
             _ => Vec::new(),
         };
         filter_waived(diags, &files)
@@ -1096,5 +1326,127 @@ mod tests {
             "index",
         );
         assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn shared_capture_flags_worker_closures_not_scope_closures() {
+        let src = "use std::sync::Mutex;\n\
+                   use std::thread;\n\
+                   pub fn fan_out(n: u64) -> u64 {\n\
+                       let tally = Mutex::new(0u64);\n\
+                       thread::scope(|scope| {\n\
+                           scope.spawn(|| bump(&tally, n));\n\
+                       });\n\
+                       n\n\
+                   }\n\
+                   fn bump(tally: &Mutex<u64>, n: u64) -> u64 { n }";
+        let hits = run(&[("crates/sim/src/lib.rs", "dcn_sim", src)], "shared");
+        // One finding at the worker spawn; the scope closure also sees
+        // `tally` but runs on the calling thread.
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits.first().is_some_and(|h| h.contains("`tally`") && h.contains(":6 ")));
+    }
+
+    #[test]
+    fn shared_capture_honors_inline_waivers() {
+        let src = "use std::sync::atomic::AtomicUsize;\n\
+                   use std::thread;\n\
+                   pub fn fan_out(n: usize) -> usize {\n\
+                       let cursor = AtomicUsize::new(0);\n\
+                       thread::scope(|scope| {\n\
+                           // lint:allow(shared-mutable-capture) claim cursor\n\
+                           scope.spawn(|| claim(&cursor, n));\n\
+                       });\n\
+                       n\n\
+                   }\n\
+                   fn claim(cursor: &AtomicUsize, n: usize) -> usize { n }";
+        let hits = run(&[("crates/sim/src/lib.rs", "dcn_sim", src)], "shared");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unforked_rng_flags_master_but_not_forked_streams() {
+        let src = "use std::thread;\n\
+                   pub fn bad(master: u64) {\n\
+                       let rng = SimRng::new(master);\n\
+                       thread::scope(|scope| { scope.spawn(|| draw(&rng)); });\n\
+                   }\n\
+                   pub fn good(master: u64, index: u64) {\n\
+                       let rng = SimRng::new(cell_seed(master, index));\n\
+                       thread::scope(|scope| { scope.spawn(|| draw(&rng)); });\n\
+                   }\n\
+                   pub fn forked(parent: &mut SimRng) {\n\
+                       let rng = parent.fork(7);\n\
+                       thread::scope(|scope| { scope.spawn(|| draw(&rng)); });\n\
+                   }\n\
+                   fn draw(rng: &SimRng) -> u64 { 0 }";
+        let hits = run(&[("crates/sim/src/lib.rs", "dcn_sim", src)], "unforked");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits.first().is_some_and(|h| h.contains(":4 ")), "{hits:?}");
+    }
+
+    #[test]
+    fn unordered_reduction_fires_once_per_mutation_site() {
+        // The push sits inside the worker closure, which is nested in
+        // the scope closure — both sites walk it, the duplicate dedups.
+        let src = "use std::thread;\n\
+                   pub fn collect_all(cells: &[u64]) -> Vec<u64> {\n\
+                       let mut results = Vec::new();\n\
+                       thread::scope(|scope| {\n\
+                           for c in cells {\n\
+                               scope.spawn(|| results.push(*c));\n\
+                           }\n\
+                       });\n\
+                       results\n\
+                   }";
+        let hits = run(&[("crates/sim/src/lib.rs", "dcn_sim", src)], "reduction");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits.first().is_some_and(|h| h.contains("`results`")), "{hits:?}");
+    }
+
+    #[test]
+    fn reduction_ignores_closure_local_buffers() {
+        let src = "use std::thread;\n\
+                   pub fn per_worker(cells: &[u64]) {\n\
+                       thread::scope(|scope| {\n\
+                           scope.spawn(|| {\n\
+                               let mut local = Vec::new();\n\
+                               local.push(1u64);\n\
+                               local\n\
+                           });\n\
+                       });\n\
+                   }";
+        let hits = run(&[("crates/sim/src/lib.rs", "dcn_sim", src)], "reduction");
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn relaxed_atomic_flags_relaxed_and_acqrel_load_only() {
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\n\
+                   pub fn bad(c: &AtomicUsize) -> usize { c.load(Ordering::Relaxed) }\n\
+                   pub fn abort(c: &AtomicUsize) -> usize { c.load(Ordering::AcqRel) }\n\
+                   pub fn fine(c: &AtomicUsize) -> usize { c.load(Ordering::SeqCst) }\n\
+                   pub fn rmw(c: &AtomicUsize) -> usize { c.fetch_add(1, Ordering::AcqRel) }\n\
+                   pub fn waived(c: &AtomicUsize) -> usize {\n\
+                       // lint:allow(relaxed-atomic) claim cursor\n\
+                       c.fetch_add(1, Ordering::Relaxed)\n\
+                   }";
+        let hits = run(&[("crates/sim/src/lib.rs", "dcn_sim", src)], "relaxed");
+        // Relaxed load + AcqRel load; AcqRel on a read-modify-write is
+        // legal and SeqCst is the house default.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn out_of_scope_spawns_are_not_audited() {
+        let src = "use std::sync::Mutex;\n\
+                   use std::thread;\n\
+                   pub fn fan_out(n: u64) {\n\
+                       let tally = Mutex::new(0u64);\n\
+                       thread::scope(|scope| { scope.spawn(|| bump(&tally, n)); });\n\
+                   }\n\
+                   fn bump(tally: &Mutex<u64>, n: u64) -> u64 { n }";
+        let hits = run(&[("tools/src/lib.rs", "tools", src)], "shared");
+        assert!(hits.is_empty(), "{hits:?}");
     }
 }

@@ -1,0 +1,456 @@
+//! The spawn-site model: parallelism-safety analysis of
+//! `std::thread::scope` / `spawn` closures.
+//!
+//! For every spawn site in the determinism scope this module performs a
+//! closure-capture escape analysis — which enclosing bindings the
+//! closure references (by ref or by `move`), which of them reach
+//! shared-mutable state (a `Mutex`/`RwLock`/`RefCell`/`Cell`/`Atomic*`
+//! constructor sighting, or a `static mut`), and which carry an RNG and
+//! whether its stream came through the blessed `cell_seed`/
+//! `SimRng::fork` provenance chain. The packs in [`crate::packs`] turn
+//! these records into diagnostics; `xtask audit` renders them as a
+//! byte-stable JSON report.
+//!
+//! Approximations, all deliberate and conservative in the same spirit
+//! as [`crate::dataflow`]:
+//! - free variables are computed flow-insensitively: a name bound by a
+//!   `let` anywhere inside the closure is treated as closure-local
+//!   (shadowing-safe), a name bound anywhere in the enclosing function
+//!   but not in the closure is a capture;
+//! - match-arm pattern bindings are not modeled, so they are never
+//!   reported as captures (they cannot outlive the arm anyway);
+//! - any method named `spawn` taking a closure is treated as a thread
+//!   spawn — in this workspace the only receiver is `std::thread::Scope`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::dataflow::{shared_ctor, Evaluator, T_RNG, T_RNG_UNFORKED, T_SHARED};
+use crate::diag::{json_string, write_diagnostics_array, write_totals, Diagnostic, Span, PAR_RULES};
+use crate::resolve::{FnTable, SourceFile};
+
+/// What kind of parallel region a site opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpawnKind {
+    /// `std::thread::scope(|scope| ...)` — the closure runs on the
+    /// calling thread but concurrently with every worker it spawns, so
+    /// order-dependent reductions inside it are still findings.
+    Scope,
+    /// `scope.spawn(...)` / `thread::spawn(...)` — a worker closure.
+    Spawn,
+}
+
+impl SpawnKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SpawnKind::Scope => "scope",
+            SpawnKind::Spawn => "spawn",
+        }
+    }
+}
+
+/// How a binding crosses into the closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// By reference (no `move` keyword).
+    Borrow,
+    /// By value (`move` closure).
+    Move,
+    /// Not a capture at all: a `static` item with shared-mutable
+    /// content, reachable from the closure body.
+    Static,
+}
+
+impl CaptureMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            CaptureMode::Borrow => "borrow",
+            CaptureMode::Move => "move",
+            CaptureMode::Static => "static",
+        }
+    }
+}
+
+/// RNG-stream provenance of a captured binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngProvenance {
+    /// Not an RNG.
+    None,
+    /// RNG whose seed came through `cell_seed`/`SimRng::fork`.
+    Forked,
+    /// RNG constructed without a provenance chain — crossing a spawn
+    /// boundary makes its draws interleaving-dependent.
+    Unforked,
+}
+
+impl RngProvenance {
+    pub fn name(self) -> &'static str {
+        match self {
+            RngProvenance::None => "none",
+            RngProvenance::Forked => "forked",
+            RngProvenance::Unforked => "unforked",
+        }
+    }
+}
+
+/// One binding crossing a spawn boundary.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    pub name: String,
+    pub mode: CaptureMode,
+    /// Does the binding reach shared-mutable state?
+    pub shared: bool,
+    pub rng: RngProvenance,
+}
+
+/// One discovered spawn site with its capture set.
+pub struct SpawnSite<'a> {
+    pub file: String,
+    pub file_idx: usize,
+    pub span: Span,
+    pub kind: SpawnKind,
+    /// Enclosing function, `Type::method` or `crate::fn` form.
+    pub function: String,
+    /// The closure whose body runs in the parallel region.
+    pub closure: &'a Expr,
+    /// Sorted by name.
+    pub captures: Vec<Capture>,
+}
+
+/// Discovers every spawn site in non-test functions of files satisfying
+/// `in_scope`, with capture sets resolved against the dataflow
+/// evaluator's per-local taints. Sites come out sorted by
+/// (file, line, column).
+pub fn collect_spawn_sites<'a>(
+    files: &'a [SourceFile],
+    table: &'a FnTable<'a>,
+    eval: &Evaluator<'a>,
+    in_scope: &dyn Fn(&str) -> bool,
+) -> Vec<SpawnSite<'a>> {
+    // Statics with shared-mutable content, by (crate, name): reachable
+    // from any closure in the same crate without being a binding.
+    let mut shared_statics: BTreeSet<(String, String)> = BTreeSet::new();
+    for init in &table.inits {
+        if !init.is_static {
+            continue;
+        }
+        let mut ctor = false;
+        init.init.walk(&mut |e| {
+            if let Some(p) = e.as_path() {
+                if shared_ctor(p) {
+                    ctor = true;
+                }
+            }
+        });
+        if init.mutable || ctor {
+            let krate = files
+                .get(init.file_idx)
+                .map(|f| f.krate.clone())
+                .unwrap_or_default();
+            shared_statics.insert((krate, init.name.clone()));
+        }
+    }
+
+    let mut sites = Vec::new();
+    for (fn_id, decl) in table.fns.iter().enumerate() {
+        let Some(sf) = files.get(decl.file_idx) else {
+            continue;
+        };
+        if decl.is_test || !in_scope(&sf.rel) {
+            continue;
+        }
+        let Some(body) = &decl.item.body else {
+            continue;
+        };
+
+        // Find the spawn sites first; the (shared) binding environment
+        // is only computed when the function actually has one.
+        let mut found: Vec<(Span, SpawnKind, &Expr)> = Vec::new();
+        crate::ast::walk_block(body, &mut |e| {
+            if let Some((kind, closure)) = spawn_of(e, eval, decl.file_idx) {
+                found.push((e.span, kind, closure));
+            }
+        });
+        if found.is_empty() {
+            continue;
+        }
+
+        // Every binding of the enclosing function, flow-insensitive:
+        // parameters, `let` names in every block (including inside
+        // closures), and every closure's parameters.
+        let mut all_bound: BTreeSet<String> = decl.item.params.iter().cloned().collect();
+        collect_block_bindings(body, &mut all_bound);
+
+        let locals = eval.local_taints(fn_id);
+        let function = match &decl.type_name {
+            Some(ty) => format!("{ty}::{}", decl.item.name),
+            None if sf.krate.is_empty() => decl.item.name.clone(),
+            None => format!("{}::{}", sf.krate, decl.item.name),
+        };
+
+        for (span, kind, closure) in found {
+            let captures = captures_of(
+                closure,
+                &all_bound,
+                &locals,
+                &shared_statics,
+                &sf.krate,
+            );
+            sites.push(SpawnSite {
+                file: sf.rel.clone(),
+                file_idx: decl.file_idx,
+                span,
+                kind,
+                function: function.clone(),
+                closure,
+                captures,
+            });
+        }
+    }
+    sites.sort_by(|a, b| {
+        (a.file.as_str(), a.span.line, a.span.col, a.kind)
+            .cmp(&(b.file.as_str(), b.span.line, b.span.col, b.kind))
+    });
+    sites
+}
+
+/// Is this expression a spawn site? Returns the region kind and the
+/// closure that runs in it.
+fn spawn_of<'e>(
+    e: &'e Expr,
+    eval: &Evaluator<'_>,
+    file_idx: usize,
+) -> Option<(SpawnKind, &'e Expr)> {
+    let closure_arg = |args: &'e [Expr]| {
+        args.iter()
+            .find(|a| matches!(a.kind, ExprKind::Closure { .. }))
+    };
+    match &e.kind {
+        ExprKind::Call { callee, args } => {
+            let path = callee.as_path()?;
+            let q = eval.qualify_in(file_idx, path);
+            let last = q.last().map(String::as_str)?;
+            let prev = q
+                .len()
+                .checked_sub(2)
+                .and_then(|i| q.get(i))
+                .map(String::as_str)
+                .unwrap_or("");
+            let kind = match (prev, last) {
+                ("thread", "scope") => SpawnKind::Scope,
+                ("thread", "spawn") | ("Builder", "spawn") => SpawnKind::Spawn,
+                _ => return None,
+            };
+            Some((kind, closure_arg(args)?))
+        }
+        ExprKind::MethodCall { method, args, .. } if method == "spawn" => {
+            Some((SpawnKind::Spawn, closure_arg(args)?))
+        }
+        _ => None,
+    }
+}
+
+/// Free-variable analysis of one closure: names referenced in the body
+/// that are bound in the enclosing function but not inside the closure,
+/// plus reachable shared statics.
+fn captures_of(
+    closure: &Expr,
+    all_bound: &BTreeSet<String>,
+    locals: &BTreeMap<String, u8>,
+    shared_statics: &BTreeSet<(String, String)>,
+    krate: &str,
+) -> Vec<Capture> {
+    let ExprKind::Closure {
+        params,
+        body,
+        is_move,
+    } = &closure.kind
+    else {
+        return Vec::new();
+    };
+    let mut inner: BTreeSet<String> = params.iter().cloned().collect();
+    collect_expr_bindings(body, &mut inner);
+
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    body.walk(&mut |e| {
+        if let ExprKind::Path(p) = &e.kind {
+            if let (1, Some(name)) = (p.len(), p.first()) {
+                referenced.insert(name.clone());
+            }
+        }
+    });
+
+    let mode = if *is_move {
+        CaptureMode::Move
+    } else {
+        CaptureMode::Borrow
+    };
+    let mut out = Vec::new();
+    for name in referenced {
+        if inner.contains(&name) {
+            continue;
+        }
+        if all_bound.contains(&name) {
+            let taint = locals.get(&name).copied().unwrap_or(0);
+            let rng = if taint & T_RNG == 0 {
+                RngProvenance::None
+            } else if taint & T_RNG_UNFORKED != 0 {
+                RngProvenance::Unforked
+            } else {
+                RngProvenance::Forked
+            };
+            out.push(Capture {
+                name,
+                mode,
+                shared: taint & T_SHARED != 0,
+                rng,
+            });
+        } else if shared_statics.contains(&(krate.to_string(), name.clone())) {
+            out.push(Capture {
+                name,
+                mode: CaptureMode::Static,
+                shared: true,
+                rng: RngProvenance::None,
+            });
+        }
+    }
+    out
+}
+
+/// Collects `let`-bound names and closure parameters from every block
+/// reachable from `block`, including closure bodies.
+fn collect_block_bindings(block: &Block, out: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { names, init, .. } => {
+                out.extend(names.iter().cloned());
+                if let Some(e) = init {
+                    collect_expr_bindings(e, out);
+                }
+            }
+            Stmt::Expr(e) => collect_expr_bindings(e, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// `collect_block_bindings` over every block nested in an expression.
+fn collect_expr_bindings(root: &Expr, out: &mut BTreeSet<String>) {
+    root.walk(&mut |e| match &e.kind {
+        ExprKind::Closure { params, .. } => out.extend(params.iter().cloned()),
+        ExprKind::Block(b) => collect_lets(b, out),
+        ExprKind::If { then, .. } => collect_lets(then, out),
+        ExprKind::Loop { body, .. } => collect_lets(body, out),
+        _ => {}
+    });
+}
+
+fn collect_lets(block: &Block, out: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        if let Stmt::Let { names, .. } = stmt {
+            out.extend(names.iter().cloned());
+        }
+    }
+}
+
+// --- audit report -------------------------------------------------------
+
+/// Owned, renderable form of one capture (for the audit report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureSummary {
+    pub name: String,
+    pub mode: &'static str,
+    pub shared: bool,
+    pub rng: &'static str,
+}
+
+/// Owned, renderable form of one spawn site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSummary {
+    pub file: String,
+    pub span: Span,
+    pub kind: &'static str,
+    pub function: String,
+    pub captures: Vec<CaptureSummary>,
+}
+
+/// Converts borrowed spawn sites into the owned report form.
+pub fn summarize(sites: &[SpawnSite<'_>]) -> Vec<SiteSummary> {
+    sites
+        .iter()
+        .map(|s| SiteSummary {
+            file: s.file.clone(),
+            span: s.span,
+            kind: s.kind.name(),
+            function: s.function.clone(),
+            captures: s
+                .captures
+                .iter()
+                .map(|c| CaptureSummary {
+                    name: c.name.clone(),
+                    mode: c.mode.name(),
+                    shared: c.shared,
+                    rng: c.rng.name(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the `xtask audit` report: per-spawn-site capture sets plus
+/// the parallelism diagnostics, byte-stable (fixed key order, sorted
+/// inputs, no timestamps).
+pub fn render_audit_json(
+    files_checked: usize,
+    sites: &[SiteSummary],
+    diags: &[Diagnostic],
+    ok: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"ok\": {ok},");
+    let _ = writeln!(out, "  \"files_checked\": {files_checked},");
+    out.push_str("  \"spawn_sites\": [");
+    for (i, s) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"file\": {}, \"line\": {}, \"column\": {}, \"kind\": {}, \"function\": {}, \"captures\": [",
+            json_string(&s.file),
+            s.span.line,
+            s.span.col,
+            json_string(s.kind),
+            json_string(&s.function)
+        );
+        for (j, c) in s.captures.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"mode\": {}, \"shared\": {}, \"rng\": {}}}",
+                json_string(&c.name),
+                json_string(c.mode),
+                c.shared,
+                json_string(c.rng)
+            );
+        }
+        out.push_str("]}");
+    }
+    if !sites.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    write_totals(&mut out, diags, PAR_RULES);
+    write_diagnostics_array(&mut out, diags);
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

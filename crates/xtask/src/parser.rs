@@ -387,7 +387,7 @@ impl<'t> Parser<'t> {
             Some("const") | Some("static") => {
                 let is_const = self.ident() == Some("const");
                 self.bump();
-                self.eat_ident("mut"); // static mut
+                let mutable = self.eat_ident("mut"); // static mut
                 let name = self.take_ident().unwrap_or_default();
                 self.skip_until_stops(&['=', ';'], &[]);
                 let init = if self.eat_punct('=') {
@@ -399,7 +399,11 @@ impl<'t> Parser<'t> {
                 if is_const {
                     ItemKind::Const { name, init }
                 } else {
-                    ItemKind::Static { name, init }
+                    ItemKind::Static {
+                        name,
+                        init,
+                        mutable,
+                    }
                 }
             }
             Some("struct") | Some("enum") | Some("union") => {
@@ -1177,7 +1181,7 @@ impl<'t> Parser<'t> {
                 span,
                 kind: ExprKind::Block(self.parse_block()),
             },
-            Some(TokenKind::Punct('|')) => self.parse_closure(span),
+            Some(TokenKind::Punct('|')) => self.parse_closure(span, false),
             Some(TokenKind::Punct('.')) if self.punct_at(1, '.') => {
                 self.bump();
                 self.bump();
@@ -1214,7 +1218,7 @@ impl<'t> Parser<'t> {
         }
     }
 
-    fn parse_closure(&mut self, span: Span) -> Expr {
+    fn parse_closure(&mut self, span: Span, is_move: bool) -> Expr {
         // Cursor on `|` (or the first of `||`).
         let mut params = Vec::new();
         self.bump();
@@ -1256,6 +1260,7 @@ impl<'t> Parser<'t> {
             kind: ExprKind::Closure {
                 params,
                 body: Box::new(body),
+                is_move,
             },
         }
     }
@@ -1272,7 +1277,7 @@ impl<'t> Parser<'t> {
             "move" => {
                 self.bump();
                 if self.punct('|') {
-                    self.parse_closure(span)
+                    self.parse_closure(span, true)
                 } else {
                     self.parse_primary(allow_struct)
                 }

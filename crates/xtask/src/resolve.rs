@@ -253,11 +253,18 @@ pub struct FnDecl<'a> {
     pub item: &'a FnItem,
 }
 
-/// A `const`/`static` initializer (for the timer-provenance pack).
+/// A `const`/`static` initializer (for the timer-provenance pack and
+/// the spawn-site capture analysis).
 pub struct InitDecl<'a> {
     pub file_idx: usize,
     pub name: String,
     pub is_test: bool,
+    /// `static` rather than `const` — a single shared instance, so a
+    /// shared-mutable initializer makes it cross-thread state.
+    pub is_static: bool,
+    /// `static mut` — shared mutable by declaration, no constructor
+    /// sighting needed.
+    pub mutable: bool,
     pub span: Span,
     pub init: &'a Expr,
 }
@@ -310,14 +317,25 @@ impl<'a> FnTable<'a> {
                 ItemKind::Const {
                     name,
                     init: Some(e),
-                }
-                | ItemKind::Static {
-                    name,
-                    init: Some(e),
                 } => self.inits.push(InitDecl {
                     file_idx,
                     name: name.clone(),
                     is_test: test,
+                    is_static: false,
+                    mutable: false,
+                    span: item.span,
+                    init: e,
+                }),
+                ItemKind::Static {
+                    name,
+                    init: Some(e),
+                    mutable,
+                } => self.inits.push(InitDecl {
+                    file_idx,
+                    name: name.clone(),
+                    is_test: test,
+                    is_static: true,
+                    mutable: *mutable,
                     span: item.span,
                     init: e,
                 }),

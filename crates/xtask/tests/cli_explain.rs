@@ -1,6 +1,7 @@
-//! End-to-end tests of the `lint --explain` CLI surface: every shipped
-//! rule has printable documentation, and an unknown rule name fails
-//! loudly with the full rule list (so a typo never silently succeeds).
+//! End-to-end tests of the `lint --explain` / `audit --explain` CLI
+//! surface: every shipped rule has printable documentation, an unknown
+//! rule name fails loudly with the full rule list (so a typo never
+//! silently succeeds), and a near-miss gets a did-you-mean suggestion.
 
 use std::process::Command;
 
@@ -45,6 +46,48 @@ fn explain_unknown_rule_exits_nonzero_and_lists_every_rule() {
     );
     for rule in ALL_RULES {
         assert!(stderr.contains(rule), "must list {rule}:\n{stderr}");
+    }
+}
+
+#[test]
+fn explain_typo_gets_a_did_you_mean_and_exit_2() {
+    // Within edit distance 2 of `relaxed-atomic` — both the lint and the
+    // audit spelling of --explain must suggest it and still exit 2.
+    for cmd in ["lint", "audit"] {
+        let out = xtask()
+            .args([cmd, "--explain", "relaxed-atomics"])
+            .output()
+            .expect("spawn xtask");
+        assert_eq!(out.status.code(), Some(2), "a typo must exit 2, not succeed");
+        assert!(out.stdout.is_empty(), "nothing on stdout for an error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("did you mean `relaxed-atomic`?"),
+            "{cmd} --explain must suggest the near-miss:\n{stderr}"
+        );
+    }
+    // Far-off garbage gets the list but no guess.
+    let out = xtask()
+        .args(["lint", "--explain", "bogus-rule"])
+        .output()
+        .expect("spawn xtask");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("did you mean"),
+        "far-off typos must not get a suggestion:\n{stderr}"
+    );
+}
+
+#[test]
+fn audit_explain_prints_docs_for_par_rules() {
+    for rule in xtask::diag::PAR_RULES {
+        let out = xtask()
+            .args(["audit", "--explain", rule])
+            .output()
+            .expect("spawn xtask");
+        assert!(out.status.success(), "audit --explain {rule} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "{stdout}");
     }
 }
 

@@ -1,0 +1,137 @@
+//! Seeded parallelism-safety violations — one per rule — plus waived
+//! and sequential controls. Analyzed by `tests/golden_par.rs`; never
+//! compiled (no Cargo.toml, and the workspace walker skips `tests/`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Shared static: reachable from worker closures without being a
+/// binding, so it shows up as a mode-`static` capture.
+static GLOBAL_TALLY: AtomicUsize = AtomicUsize::new(0);
+
+/// Planted [shared-mutable-capture]: a worker closure captures a
+/// `Mutex` — results now depend on which worker wins the lock.
+pub fn bad_shared_capture(items: usize) -> usize {
+    let tally = Mutex::new(0usize);
+    thread::scope(|scope| {
+        scope.spawn(|| consume(&tally, items));
+    });
+    items
+}
+
+/// Planted [shared-mutable-capture]: the shared static crosses the
+/// spawn boundary without any binding at all.
+pub fn bad_static_capture(items: usize) -> usize {
+    thread::scope(|scope| {
+        scope.spawn(|| GLOBAL_TALLY.fetch_add(items, Ordering::SeqCst));
+    });
+    items
+}
+
+/// Planted [relaxed-atomic]: a Relaxed store outside the claim-cursor
+/// idiom.
+pub fn bad_relaxed(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Relaxed);
+}
+
+/// Planted [relaxed-atomic]: `AcqRel` on a load aborts at runtime.
+pub fn bad_acqrel(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::AcqRel)
+}
+
+/// Planted [unforked-rng-spawn]: a master RNG crosses the spawn
+/// boundary without `cell_seed`/`fork` provenance.
+pub fn bad_rng_cross(master: u64) -> u64 {
+    let rng = SimRng::new(master);
+    thread::scope(|scope| {
+        scope.spawn(|| draw(&rng));
+    });
+    master
+}
+
+/// Planted [unordered-reduction]: workers push straight into a captured
+/// buffer, so it fills in completion order.
+pub fn bad_reduction(cells: &[u64]) -> Vec<u64> {
+    let mut results = Vec::new();
+    thread::scope(|scope| {
+        for c in cells {
+            scope.spawn(|| results.push(*c));
+        }
+    });
+    results
+}
+
+/// Waived control: the blessed claim-cursor seam — workers share only
+/// the atomic cursor.
+pub fn waived_shared_capture(items: usize) -> usize {
+    let cursor = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        // lint:allow(shared-mutable-capture) blessed claim-cursor seam
+        scope.spawn(|| consume_cursor(&cursor, items));
+    });
+    items
+}
+
+/// Waived control: the claim-cursor Relaxed idiom — only fetch_add
+/// uniqueness is used, results re-sorted at the merge.
+pub fn waived_relaxed(cursor: &AtomicUsize) -> usize {
+    // lint:allow(relaxed-atomic) claim-cursor: uniqueness only
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Forked control: seed provenance through `cell_seed` makes the RNG
+/// legal to move across the boundary — no finding.
+pub fn forked_rng(master: u64, index: u64) -> u64 {
+    let rng = SimRng::new(cell_seed(master, index));
+    thread::scope(|scope| {
+        scope.spawn(|| draw(&rng));
+    });
+    master
+}
+
+/// Waived control: the blessed ordered merge — joined in spawn order,
+/// sorted afterwards.
+pub fn waived_reduction(cells: &[u64]) -> Vec<u64> {
+    let mut merged = Vec::new();
+    thread::scope(|scope| {
+        let handle = scope.spawn(|| span_results(cells));
+        match handle.join() {
+            // lint:allow(unordered-reduction) ordered merge: sorted below
+            Ok(local) => merged.extend(local),
+            Err(_) => {}
+        }
+    });
+    merged.sort();
+    merged
+}
+
+/// Sequential control: identical mutation and RNG patterns with no
+/// spawn in sight — completely silent.
+pub fn sequential_control(cells: &[u64], master: u64) -> Vec<u64> {
+    let rng = SimRng::new(master);
+    let mut results = Vec::new();
+    for c in cells {
+        results.push(*c ^ draw(&rng));
+    }
+    results
+}
+
+fn consume(tally: &Mutex<usize>, items: usize) -> usize {
+    if let Ok(mut guard) = tally.lock() {
+        *guard += items;
+    }
+    items
+}
+
+fn consume_cursor(cursor: &AtomicUsize, items: usize) -> usize {
+    cursor.fetch_add(1, Ordering::SeqCst).min(items)
+}
+
+fn draw(rng: &SimRng) -> u64 {
+    rng.peek()
+}
+
+fn span_results(cells: &[u64]) -> Vec<u64> {
+    cells.to_vec()
+}

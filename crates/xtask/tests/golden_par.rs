@@ -1,0 +1,230 @@
+//! Parallelism-safety analyzer tests over the seeded fixture tree
+//! `tests/fixture_par/` (one planted violation per rule, plus waived
+//! and sequential controls):
+//!
+//! 1. the `audit --format json` report matches
+//!    `tests/golden/fixture_par_audit.json` byte-exactly
+//!    (regenerate with `UPDATE_GOLDEN=1 cargo test -p xtask --test golden_par`),
+//! 2. every planted violation produces exactly one diagnostic and the
+//!    waived/sequential controls produce none,
+//! 3. the report is independent of pack execution order (any
+//!    permutation of the diagnostics re-sorts to the same bytes), and
+//! 4. a proptest: audit JSON byte-identity across runs and input
+//!    shuffles.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use xtask::allowlist::Allowlist;
+use xtask::diag::{sort_diagnostics, Diagnostic, PAR_RULES};
+use xtask::engine::{self, AuditReport};
+use xtask::par::render_audit_json;
+
+fn tests_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests")
+}
+
+fn audit_fixture() -> AuditReport {
+    let root = tests_dir().join("fixture_par");
+    let analysis =
+        engine::analyze(&root, &Allowlist::default()).expect("fixture analysis runs");
+    engine::audit_view(&analysis)
+}
+
+fn audit_json(audit: &AuditReport) -> String {
+    render_audit_json(
+        audit.files_checked,
+        &audit.spawn_sites,
+        &audit.diagnostics,
+        audit.ok,
+    )
+}
+
+#[test]
+fn par_fixture_audit_matches_golden_byte_exactly() {
+    let got = audit_json(&audit_fixture());
+    let golden = tests_dir().join("golden").join("fixture_par_audit.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden)
+        .expect("golden file exists; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "audit JSON diverged from the golden file; if the change is \
+         intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn planted_violations_fire_exactly_once_and_controls_stay_silent() {
+    let audit = audit_fixture();
+    let got = audit_json(&audit);
+    let count = |rule: &str| got.matches(&format!("\"rule\": \"{rule}\"")).count();
+
+    // One diagnostic per planted site: the Mutex capture and the shared
+    // static, the Relaxed store and the AcqRel load, the unforked master
+    // RNG, and the completion-order push.
+    assert_eq!(count("shared-mutable-capture"), 2, "{got}");
+    assert_eq!(count("relaxed-atomic"), 2, "{got}");
+    assert_eq!(count("unforked-rng-spawn"), 1, "{got}");
+    assert_eq!(count("unordered-reduction"), 1, "{got}");
+    assert!(got.contains("bad_shared_capture"), "{got}");
+    assert!(got.contains("GLOBAL_TALLY"), "{got}");
+    assert!(got.contains("`rng`"), "{got}");
+    assert!(got.contains("`results`"), "{got}");
+    assert!(got.contains("\"ok\": false"), "{got}");
+
+    // The waived seams and the sequential control stay silent: no
+    // diagnostic points at their lines.
+    for f in ["waived_shared_capture", "waived_relaxed", "waived_reduction", "sequential_control", "forked_rng"] {
+        assert!(
+            !audit.diagnostics.iter().any(|d| d.message.contains(f)),
+            "control `{f}` produced a diagnostic: {got}"
+        );
+    }
+
+    // Every spawn site is reported, violations and controls alike: the
+    // seven `thread::scope` regions and their seven worker spawns.
+    assert_eq!(audit.spawn_sites.iter().filter(|s| s.kind == "scope").count(), 7);
+    assert_eq!(audit.spawn_sites.iter().filter(|s| s.kind == "spawn").count(), 7);
+
+    // Capture classification: the unforked master RNG vs the forked one.
+    let rng_of = |line_hint: &str| {
+        audit
+            .spawn_sites
+            .iter()
+            .flat_map(|s| s.captures.iter())
+            .find(|c| c.name == line_hint)
+            .map(|c| c.rng)
+    };
+    assert_eq!(rng_of("rng"), Some("unforked"), "first rng capture is the master");
+    assert!(
+        audit
+            .spawn_sites
+            .iter()
+            .flat_map(|s| s.captures.iter())
+            .any(|c| c.name == "rng" && c.rng == "forked"),
+        "the cell_seed-derived rng must classify as forked"
+    );
+    // The shared static is a mode-`static` capture.
+    assert!(
+        audit
+            .spawn_sites
+            .iter()
+            .flat_map(|s| s.captures.iter())
+            .any(|c| c.name == "GLOBAL_TALLY" && c.mode == "static" && c.shared),
+        "static capture missing"
+    );
+}
+
+#[test]
+fn audit_diagnostics_are_par_rules_only_and_sorted() {
+    let audit = audit_fixture();
+    for d in &audit.diagnostics {
+        assert!(PAR_RULES.contains(&d.rule), "non-par rule {} in audit", d.rule);
+    }
+    let mut resorted: Vec<Diagnostic> = audit.diagnostics.clone();
+    sort_diagnostics(&mut resorted);
+    assert_eq!(resorted, audit.diagnostics, "audit diagnostics not in canonical order");
+}
+
+/// Pack-order-shuffle regression: the emission order of the packs must
+/// not be observable. Any permutation of the diagnostics re-sorts to
+/// the same canonical order, so the rendered report is byte-identical.
+#[test]
+fn report_is_independent_of_pack_emission_order() {
+    let audit = audit_fixture();
+    let baseline = audit_json(&audit);
+
+    // Reverse, and an interleave (odd indices then even) — two
+    // permutations a different pack scheduling could plausibly produce.
+    let permutations: [Vec<usize>; 2] = {
+        let n = audit.diagnostics.len();
+        let reversed: Vec<usize> = (0..n).rev().collect();
+        let interleaved: Vec<usize> =
+            (0..n).filter(|i| i % 2 == 1).chain((0..n).filter(|i| i % 2 == 0)).collect();
+        [reversed, interleaved]
+    };
+    for perm in permutations {
+        let mut shuffled: Vec<Diagnostic> = perm
+            .iter()
+            .filter_map(|&i| audit.diagnostics.get(i).cloned())
+            .collect();
+        sort_diagnostics(&mut shuffled);
+        let got = render_audit_json(audit.files_checked, &audit.spawn_sites, &shuffled, audit.ok);
+        assert_eq!(got, baseline, "pack emission order leaked into the report");
+    }
+}
+
+/// The ratchet is two-way for the parallelism rules exactly as for the
+/// panic rules: exceeding a budget fails, and a budget larger than the
+/// observed count (stale) fails too, forcing it down in the same change.
+#[test]
+fn par_budgets_ratchet_both_ways() {
+    let root = tests_dir().join("fixture_par");
+    let file = "crates/sweep/src/lib.rs";
+    let budgeted = |n: usize| {
+        let mut allow = Allowlist::default();
+        allow
+            .budgets
+            .entry("relaxed-atomic".to_string())
+            .or_default()
+            .insert(file.to_string(), n);
+        engine::audit_view(&engine::analyze(&root, &allow).expect("fixture analysis runs"))
+    };
+
+    // Exact budget: the relaxed findings are covered, no mismatch.
+    let exact = budgeted(2);
+    assert!(exact.over.is_empty() && exact.stale.is_empty(), "exact budget must balance");
+    assert!(exact
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "relaxed-atomic")
+        .all(|d| d.allowed));
+
+    // Over budget: 2 findings against a budget of 1.
+    let over = budgeted(1);
+    assert_eq!(over.over.len(), 1, "exceeding the budget must be reported");
+    assert!(!over.ok);
+
+    // Stale budget: 2 findings against a budget of 5.
+    let stale = budgeted(5);
+    assert_eq!(stale.stale.len(), 1, "a slack budget must be reported as stale");
+    assert!(!stale.ok);
+}
+
+#[test]
+fn audit_report_is_valid_json() {
+    xtask::jsonchk::validate(&audit_json(&audit_fixture())).expect("audit report parses as JSON");
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(16))]
+
+    /// Byte-identity: a fresh analysis and an arbitrary rotation of the
+    /// diagnostic list (re-sorted) must both render the exact bytes of
+    /// the baseline report.
+    #[test]
+    fn audit_json_is_byte_identical(rotation in 0usize..32) {
+        let audit = audit_fixture();
+        let baseline = audit_json(&audit);
+
+        let fresh = audit_json(&audit_fixture());
+        prop_assert_eq!(&fresh, &baseline);
+
+        let n = audit.diagnostics.len().max(1);
+        let mut rotated: Vec<Diagnostic> = audit
+            .diagnostics
+            .iter()
+            .cycle()
+            .skip(rotation % n)
+            .take(audit.diagnostics.len())
+            .cloned()
+            .collect();
+        sort_diagnostics(&mut rotated);
+        let got = render_audit_json(audit.files_checked, &audit.spawn_sites, &rotated, audit.ok);
+        prop_assert_eq!(got, baseline);
+    }
+}
